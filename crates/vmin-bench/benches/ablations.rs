@@ -1,0 +1,160 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - **A1 — calibration fraction**: how the CQR train/calibration split
+//!   (paper: 75/25) trades interval width against quantile-model quality.
+//! - **A2 — conformal variants**: split CP vs normalized CP vs CQR vs
+//!   jackknife+ around linear models on the same heteroscedastic data.
+//!
+//! Criterion measures the runtime of each variant; the quality numbers
+//! (mean length / coverage) are printed once to stderr at startup so the
+//! bench output doubles as the ablation table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vmin_conformal::{
+    evaluate_intervals, Cqr, JackknifePlus, NormalizedConformal, PredictionInterval,
+    SplitConformal,
+};
+use vmin_data::train_test_split;
+use vmin_linalg::Matrix;
+use vmin_models::{LinearRegression, QuantileLinear, Regressor};
+
+/// Heteroscedastic synthetic data mimicking the Vmin residual structure.
+fn hetero(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: f64 = rng.gen_range(0.0..4.0);
+        rows.push(vec![x]);
+        y.push(550.0 + 10.0 * x + (2.0 + 3.0 * x) * rng.gen_range(-1.0..1.0));
+    }
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn qlin(q: f64) -> QuantileLinear {
+    QuantileLinear::new(q).with_training(400, 0.02)
+}
+
+fn run_cqr(cal_fraction: f64, seed: u64) -> (f64, f64) {
+    let (x, y) = hetero(117, seed);
+    let (x_te, y_te) = hetero(60, seed + 1000);
+    let ds_split = train_test_split(x.rows(), 1.0 - cal_fraction, seed);
+    let x_tr = x.select_rows(&ds_split.train).unwrap();
+    let y_tr: Vec<f64> = ds_split.train.iter().map(|&i| y[i]).collect();
+    let x_ca = x.select_rows(&ds_split.test).unwrap();
+    let y_ca: Vec<f64> = ds_split.test.iter().map(|&i| y[i]).collect();
+    let mut cqr = Cqr::new(qlin(0.05), qlin(0.95), 0.1);
+    cqr.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+    let ivs = cqr.predict_intervals(&x_te).unwrap();
+    let rep = evaluate_intervals(&ivs, &y_te);
+    (rep.mean_length, rep.coverage)
+}
+
+/// A1: calibration-fraction sweep (quality table printed to stderr).
+fn print_a1_table() {
+    eprintln!("\n[A1] CQR calibration-fraction sweep (α = 0.1, linear base, 117 chips):");
+    eprintln!("{:>10} {:>12} {:>10}", "cal frac", "length", "coverage");
+    for frac in [0.10, 0.15, 0.25, 0.35, 0.50] {
+        let (mut len, mut cov) = (0.0, 0.0);
+        let reps = 20;
+        for s in 0..reps {
+            let (l, c) = run_cqr(frac, s * 7919 + 3);
+            len += l;
+            cov += c;
+        }
+        eprintln!(
+            "{:>10.2} {:>12.2} {:>9.1}%",
+            frac,
+            len / reps as f64,
+            cov / reps as f64 * 100.0
+        );
+    }
+}
+
+/// A2: conformal-variant quality comparison (printed to stderr).
+fn print_a2_table() {
+    let reps = 20;
+    let mut rows: Vec<(&str, f64, f64)> = Vec::new();
+    let mut accumulate = |name: &'static str, f: &dyn Fn(u64) -> (f64, f64)| {
+        let (mut len, mut cov) = (0.0, 0.0);
+        for s in 0..reps {
+            let (l, c) = f(s * 6271 + 11);
+            len += l;
+            cov += c;
+        }
+        rows.push((name, len / reps as f64, cov / reps as f64));
+    };
+
+    accumulate("split CP (constant width)", &|seed| {
+        let (x, y) = hetero(117, seed);
+        let (x_te, y_te) = hetero(60, seed + 1000);
+        let split = train_test_split(x.rows(), 0.75, seed);
+        let x_tr = x.select_rows(&split.train).unwrap();
+        let y_tr: Vec<f64> = split.train.iter().map(|&i| y[i]).collect();
+        let x_ca = x.select_rows(&split.test).unwrap();
+        let y_ca: Vec<f64> = split.test.iter().map(|&i| y[i]).collect();
+        let mut cp = SplitConformal::new(LinearRegression::new(), 0.1);
+        cp.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+        let rep = evaluate_intervals(&cp.predict_intervals(&x_te).unwrap(), &y_te);
+        (rep.mean_length, rep.coverage)
+    });
+    accumulate("normalized CP", &|seed| {
+        let (x, y) = hetero(117, seed);
+        let (x_te, y_te) = hetero(60, seed + 1000);
+        let split = train_test_split(x.rows(), 0.75, seed);
+        let x_tr = x.select_rows(&split.train).unwrap();
+        let y_tr: Vec<f64> = split.train.iter().map(|&i| y[i]).collect();
+        let x_ca = x.select_rows(&split.test).unwrap();
+        let y_ca: Vec<f64> = split.test.iter().map(|&i| y[i]).collect();
+        let mut ncp =
+            NormalizedConformal::new(LinearRegression::new(), LinearRegression::new(), 0.1);
+        ncp.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+        let rep = evaluate_intervals(&ncp.predict_intervals(&x_te).unwrap(), &y_te);
+        (rep.mean_length, rep.coverage)
+    });
+    accumulate("CQR (paper)", &|seed| run_cqr(0.25, seed));
+    accumulate("jackknife+", &|seed| {
+        let (x, y) = hetero(60, seed); // LOO fits: keep n modest
+        let (x_te, y_te) = hetero(60, seed + 1000);
+        let mut jk = JackknifePlus::new(0.1);
+        jk.fit(&x, &y, || Box::new(LinearRegression::new()) as Box<dyn Regressor>)
+            .unwrap();
+        let ivs: Vec<PredictionInterval> = (0..x_te.rows())
+            .map(|i| jk.predict_interval(x_te.row(i)).unwrap())
+            .collect();
+        let rep = evaluate_intervals(&ivs, &y_te);
+        (rep.mean_length, rep.coverage)
+    });
+
+    eprintln!("\n[A2] conformal variants on heteroscedastic data (α = 0.1):");
+    eprintln!("{:<28} {:>10} {:>10}", "variant", "length", "coverage");
+    for (name, len, cov) in rows {
+        eprintln!("{name:<28} {len:>10.2} {:>9.1}%", cov * 100.0);
+    }
+    eprintln!();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    print_a1_table();
+    print_a2_table();
+
+    let mut group = c.benchmark_group("ablation_runtime");
+    group.sample_size(10);
+    group.bench_function("cqr_cal25", |b| b.iter(|| run_cqr(0.25, 1)));
+    group.bench_function("cqr_cal50", |b| b.iter(|| run_cqr(0.50, 1)));
+    group.bench_function("jackknife_plus_n60", |b| {
+        let (x, y) = hetero(60, 3);
+        b.iter(|| {
+            let mut jk = JackknifePlus::new(0.1);
+            jk.fit(&x, &y, || Box::new(LinearRegression::new()) as Box<dyn Regressor>)
+                .unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks: conformal calibration and interval
+//! prediction cost — the overhead CQR adds on top of quantile regression
+//! (Table I claims computational efficiency; this measures it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vmin_conformal::{conformal_quantile, Cqr, SplitConformal};
+use vmin_linalg::Matrix;
+use vmin_models::{LinearRegression, QuantileLinear};
+
+fn make_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: f64 = rng.gen_range(0.0..4.0);
+        rows.push(vec![x, x * x]);
+        y.push(550.0 + 10.0 * x + rng.gen_range(-3.0..3.0));
+    }
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn bench_conformal(c: &mut Criterion) {
+    let (x_tr, y_tr) = make_data(88, 1);
+    let (x_ca, y_ca) = make_data(29, 2);
+    let (x_te, _) = make_data(39, 3);
+
+    let mut group = c.benchmark_group("conformal");
+
+    group.bench_function("conformal_quantile_m29", |b| {
+        let scores: Vec<f64> = (0..29).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        b.iter(|| conformal_quantile(&scores, 0.1).unwrap())
+    });
+
+    group.bench_function("split_cp_recalibrate", |b| {
+        let mut cp = SplitConformal::new(LinearRegression::new(), 0.1);
+        cp.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+        b.iter(|| {
+            let mut cp2 = cp.clone();
+            cp2.calibrate(&x_ca, &y_ca).unwrap();
+        })
+    });
+
+    group.bench_function("cqr_fit_calibrate_linear", |b| {
+        b.iter(|| {
+            let mut cqr = Cqr::new(
+                QuantileLinear::new(0.05).with_training(200, 0.02),
+                QuantileLinear::new(0.95).with_training(200, 0.02),
+                0.1,
+            );
+            cqr.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+        })
+    });
+
+    group.bench_function("cqr_predict_39_intervals", |b| {
+        let mut cqr = Cqr::new(
+            QuantileLinear::new(0.05).with_training(200, 0.02),
+            QuantileLinear::new(0.95).with_training(200, 0.02),
+            0.1,
+        );
+        cqr.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+        b.iter(|| cqr.predict_intervals(&x_te).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_conformal);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks: fit and predict latency of every model
+//! family at the paper's data scale (117 training chips after one CV fold,
+//! 10 CFS features for the CFS models, wide raw features for the trees).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vmin_linalg::Matrix;
+use vmin_models::{
+    GaussianProcess, GradientBoost, LinearRegression, Loss, NeuralNet, NeuralNetParams,
+    ObliviousBoost, QuantileLinear, Regressor,
+};
+
+/// Synthetic regression data shaped like a CV fold of the paper's dataset.
+fn make_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let signal: f64 = row.iter().take(4).sum::<f64>() * 10.0;
+        rows.push(row);
+        y.push(550.0 + signal + rng.gen_range(-3.0..3.0));
+    }
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let (x10, y10) = make_data(117, 10, 1);
+    let (x_wide, y_wide) = make_data(117, 300, 2);
+
+    let mut group = c.benchmark_group("fit");
+    group.sample_size(10);
+
+    group.bench_function("linear_ols_10f", |b| {
+        b.iter_batched(
+            LinearRegression::new,
+            |mut m| m.fit(&x10, &y10).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("quantile_linear_10f", |b| {
+        b.iter_batched(
+            || QuantileLinear::new(0.95).with_training(400, 0.02),
+            |mut m| m.fit(&x10, &y10).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("gp_10f", |b| {
+        b.iter_batched(
+            GaussianProcess::new,
+            |mut m| m.fit(&x10, &y10).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("gbt_100trees_300f", |b| {
+        b.iter_batched(
+            || GradientBoost::new(Loss::Squared),
+            |mut m| m.fit(&x_wide, &y_wide).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("oblivious_100trees_300f", |b| {
+        b.iter_batched(
+            || ObliviousBoost::new(Loss::Squared),
+            |mut m| m.fit(&x_wide, &y_wide).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("nn_500epochs_10f", |b| {
+        b.iter_batched(
+            || {
+                NeuralNet::with_params(
+                    Loss::Squared,
+                    NeuralNetParams {
+                        epochs: 500,
+                        ..NeuralNetParams::default()
+                    },
+                )
+            },
+            |mut m| m.fit(&x10, &y10).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("predict");
+    let mut gbt = GradientBoost::new(Loss::Squared);
+    gbt.fit(&x_wide, &y_wide).unwrap();
+    group.bench_function("gbt_batch_117", |b| b.iter(|| gbt.predict(&x_wide).unwrap()));
+    let mut gp = GaussianProcess::new();
+    gp.fit(&x10, &y10).unwrap();
+    group.bench_function("gp_with_std_single", |b| {
+        b.iter(|| gp.predict_with_std(x10.row(0)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fits);
+criterion_main!(benches);

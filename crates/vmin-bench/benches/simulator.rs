@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks: synthetic-silicon substrate throughput —
+//! chip fabrication, SCAN Vmin extraction (bisection vs the conventional
+//! shmoo flow whose cost motivates ML prediction in §I), and a full small
+//! campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vmin_silicon::{Campaign, Celsius, ChipFactory, DatasetSpec, Hours, VminTester};
+
+fn bench_simulator(c: &mut Criterion) {
+    let spec = DatasetSpec::small();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let chips = ChipFactory::new(spec.clone()).fabricate(&mut rng);
+    let tester = VminTester::calibrated(spec.vmin_test.clone(), &chips[0]);
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+
+    group.bench_function("fabricate_64_chips", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            ChipFactory::new(spec.clone()).fabricate(&mut rng)
+        })
+    });
+
+    group.bench_function("vmin_bisection", |b| {
+        b.iter(|| {
+            tester
+                .vmin_noiseless(&chips[1], Celsius(25.0), Hours(0.0))
+                .unwrap()
+        })
+    });
+
+    group.bench_function("vmin_shmoo_conventional", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        b.iter(|| {
+            tester
+                .vmin_shmoo(&mut rng, &chips[1], Celsius(25.0), Hours(0.0))
+                .unwrap()
+        })
+    });
+
+    group.bench_function("campaign_small_full", |b| {
+        b.iter(|| Campaign::run(&DatasetSpec::small(), 7))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Quick probe: CQR CatBoost interval length per feature set at two read
+//! points — used to iterate on simulator calibration without the full
+//! Table IV sweep.
+use vmin_bench::Scale;
+use vmin_core::{run_region_cell, FeatureSet, PointModel, RegionMethod};
+use vmin_silicon::Campaign;
+
+fn main() {
+    let scale = Scale::from_args();
+    let campaign = Campaign::run(&scale.dataset_spec(), Scale::CAMPAIGN_SEED);
+    let cfg = scale.experiment_config();
+    let method = RegionMethod::Cqr(PointModel::CatBoost);
+    for rp in [0usize, 4] {
+        let mut row = Vec::new();
+        for fs in [FeatureSet::Parametric, FeatureSet::OnChip, FeatureSet::Both] {
+            let mut acc = 0.0;
+            for t in 0..3 {
+                acc += run_region_cell(&campaign, rp, t, method, fs, &cfg)
+                    .unwrap()
+                    .mean_length;
+            }
+            row.push(acc / 3.0);
+        }
+        println!(
+            "rp {rp}: parametric {:.2}  onchip {:.2}  both {:.2}",
+            row[0], row[1], row[2]
+        );
+    }
+}

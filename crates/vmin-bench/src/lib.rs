@@ -1,0 +1,124 @@
+//! # vmin-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation on the synthetic-silicon substrate:
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Fig. 2 (point-prediction R²/RMSE) | `fig2_point_prediction` |
+//! | Table III (interval length & coverage) | `table3_region_prediction` |
+//! | Table IV + Fig. 3 (on-chip monitor gain) | `table4_onchip_gain` |
+//!
+//! Each binary accepts `--scale quick|medium|full`:
+//!
+//! - `quick`: reduced campaign and training budgets (~1 min) — CI-friendly.
+//! - `medium` (default): the paper's 156 chips and read points with a
+//!   reduced parametric-test count and training budgets sized for a laptop.
+//! - `full`: the paper's full Table II inventory and §IV-C model budgets.
+//!
+//! Criterion micro-benches (`cargo bench -p vmin-bench`) time the model
+//! fits, conformal calibration and the simulator, plus two ablations.
+
+use vmin_core::{ExperimentConfig, ModelConfig};
+use vmin_silicon::DatasetSpec;
+
+/// Benchmark scale selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small campaign, fast budgets.
+    Quick,
+    /// Paper-sized population, laptop-sized feature count and budgets.
+    Medium,
+    /// Paper's full inventory and budgets.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--scale <value>` from CLI args; defaults to `Medium`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on an unknown value.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        match args.iter().position(|a| a == "--scale") {
+            None => Scale::Medium,
+            Some(i) => match args.get(i + 1).map(String::as_str) {
+                Some("quick") => Scale::Quick,
+                Some("medium") => Scale::Medium,
+                Some("full") => Scale::Full,
+                other => panic!("usage: --scale quick|medium|full (got {other:?})"),
+            },
+        }
+    }
+
+    /// The campaign specification for this scale.
+    pub fn dataset_spec(&self) -> DatasetSpec {
+        match self {
+            Scale::Quick => DatasetSpec::small(),
+            Scale::Medium => {
+                let mut spec = DatasetSpec::default(); // 156 chips, paper read points
+                spec.parametric.iddq_per_temp = 40;
+                spec.parametric.trip_idd_per_temp = 20;
+                spec.parametric.leakage_per_temp = 30;
+                spec.parametric.artifact_per_temp = 10;
+                spec.monitors.rod_count = 60;
+                spec.monitors.cpd_count = 10;
+                spec
+            }
+            Scale::Full => DatasetSpec::default(),
+        }
+    }
+
+    /// The experiment protocol/budgets for this scale.
+    pub fn experiment_config(&self) -> ExperimentConfig {
+        match self {
+            Scale::Quick => ExperimentConfig::fast(),
+            Scale::Medium => ExperimentConfig {
+                models: ModelConfig {
+                    nn_epochs: 1500,
+                    qlin_epochs: 1500,
+                    gbt_rounds: 60,
+                    cat_rounds: 100,
+                    nn_seed: 0,
+                },
+                ..ExperimentConfig::default()
+            },
+            Scale::Full => ExperimentConfig::default(),
+        }
+    }
+
+    /// The campaign seed shared by every artifact regenerator, so the three
+    /// binaries all see the same synthetic silicon.
+    pub const CAMPAIGN_SEED: u64 = 20240325;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medium_keeps_paper_population() {
+        let spec = Scale::Medium.dataset_spec();
+        assert_eq!(spec.chip_count, 156);
+        assert_eq!(spec.stress.read_points.len(), 6);
+        assert!(spec.parametric.total_tests() < 1800);
+    }
+
+    #[test]
+    fn full_matches_table2() {
+        let spec = Scale::Full.dataset_spec();
+        assert_eq!(spec.parametric.total_tests(), 1800);
+        assert_eq!(spec.monitors.rod_count, 168);
+    }
+
+    #[test]
+    fn budgets_ordered() {
+        let q = Scale::Quick.experiment_config();
+        let m = Scale::Medium.experiment_config();
+        let f = Scale::Full.experiment_config();
+        assert!(q.models.nn_epochs <= m.models.nn_epochs);
+        assert!(m.models.nn_epochs <= f.models.nn_epochs);
+        assert_eq!(f.models.nn_epochs, 3000);
+    }
+}

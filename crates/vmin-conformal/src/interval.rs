@@ -1,0 +1,186 @@
+//! Prediction intervals and batch evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by conformal predictors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConformalError {
+    /// Miscoverage α outside `(0, 1)`, empty calibration set, …
+    InvalidArgument(String),
+    /// The underlying model failed.
+    Model(String),
+    /// Calibration has not happened yet.
+    NotCalibrated,
+}
+
+impl fmt::Display for ConformalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformalError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            ConformalError::Model(m) => write!(f, "model failure: {m}"),
+            ConformalError::NotCalibrated => write!(f, "predictor has not been calibrated"),
+        }
+    }
+}
+
+impl Error for ConformalError {}
+
+impl From<vmin_models::ModelError> for ConformalError {
+    fn from(e: vmin_models::ModelError) -> Self {
+        ConformalError::Model(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ConformalError>;
+
+/// A closed prediction interval `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// use vmin_conformal::PredictionInterval;
+///
+/// let iv = PredictionInterval::new(540.0, 560.0);
+/// assert!(iv.contains(550.0));
+/// assert_eq!(iv.length(), 20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionInterval {
+    lo: f64,
+    hi: f64,
+}
+
+impl PredictionInterval {
+    /// Builds an interval, swapping the endpoints if given in the wrong
+    /// order (quantile crossing produces `lo > hi`; the standard remedy is
+    /// to sort the endpoints).
+    pub fn new(lo: f64, hi: f64) -> Self {
+        if lo <= hi {
+            PredictionInterval { lo, hi }
+        } else {
+            PredictionInterval { lo: hi, hi: lo }
+        }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// `hi − lo ≥ 0`.
+    pub fn length(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True when `y ∈ [lo, hi]`.
+    pub fn contains(&self, y: f64) -> bool {
+        y >= self.lo && y <= self.hi
+    }
+
+    /// Midpoint of the interval.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+impl fmt::Display for PredictionInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.3}, {:.3}]", self.lo, self.hi)
+    }
+}
+
+/// Summary statistics of a batch of intervals against true targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalReport {
+    /// Fraction of targets covered.
+    pub coverage: f64,
+    /// Mean interval length.
+    pub mean_length: f64,
+    /// Number of evaluated pairs.
+    pub n: usize,
+}
+
+/// Evaluates intervals against targets.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+pub fn evaluate_intervals(intervals: &[PredictionInterval], y_true: &[f64]) -> IntervalReport {
+    assert_eq!(
+        intervals.len(),
+        y_true.len(),
+        "evaluate_intervals: length mismatch"
+    );
+    assert!(!y_true.is_empty(), "evaluate_intervals: empty input");
+    let covered = intervals
+        .iter()
+        .zip(y_true)
+        .filter(|(iv, y)| iv.contains(**y))
+        .count();
+    let mean_length =
+        intervals.iter().map(PredictionInterval::length).sum::<f64>() / intervals.len() as f64;
+    IntervalReport {
+        coverage: covered as f64 / y_true.len() as f64,
+        mean_length,
+        n: y_true.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let iv = PredictionInterval::new(1.0, 3.0);
+        assert_eq!(iv.lo(), 1.0);
+        assert_eq!(iv.hi(), 3.0);
+        assert_eq!(iv.length(), 2.0);
+        assert_eq!(iv.midpoint(), 2.0);
+        assert!(iv.contains(1.0) && iv.contains(3.0) && iv.contains(2.0));
+        assert!(!iv.contains(0.99) && !iv.contains(3.01));
+    }
+
+    #[test]
+    fn crossed_endpoints_are_swapped() {
+        let iv = PredictionInterval::new(5.0, 2.0);
+        assert_eq!(iv.lo(), 2.0);
+        assert_eq!(iv.hi(), 5.0);
+        assert!(iv.length() >= 0.0);
+    }
+
+    #[test]
+    fn report_counts_correctly() {
+        let ivs = vec![
+            PredictionInterval::new(0.0, 1.0),
+            PredictionInterval::new(0.0, 1.0),
+            PredictionInterval::new(0.0, 3.0),
+            PredictionInterval::new(0.0, 3.0),
+        ];
+        let y = [0.5, 2.0, 2.0, 5.0];
+        let rep = evaluate_intervals(&ivs, &y);
+        assert_eq!(rep.n, 4);
+        assert!((rep.coverage - 0.5).abs() < 1e-12);
+        assert!((rep.mean_length - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = PredictionInterval::new(1.0, 2.0).to_string();
+        assert!(s.starts_with('[') && s.ends_with(']'));
+    }
+
+    #[test]
+    fn error_conversion_from_model() {
+        let e: ConformalError = vmin_models::ModelError::NotFitted.into();
+        assert!(matches!(e, ConformalError::Model(_)));
+        assert!(!e.to_string().is_empty());
+    }
+}

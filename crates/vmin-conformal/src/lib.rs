@@ -1,0 +1,54 @@
+//! # vmin-conformal
+//!
+//! Distribution-free prediction intervals with finite-sample coverage
+//! guarantees — the paper's core machinery:
+//!
+//! - [`SplitConformal`]: vanilla split CP around any point regressor
+//!   (§III-B, Eqs. 7–8). Constant-width intervals.
+//! - [`Cqr`]: conformalized quantile regression around a lower/upper
+//!   quantile pair (§III-C, Eqs. 9–10). Adaptive intervals, same guarantee.
+//! - [`conformal_quantile`]: the `⌈(M+1)(1−α)⌉/M` empirical quantile both
+//!   are built on.
+//! - Extensions for ablations: [`NormalizedConformal`],
+//!   [`MondrianConformal`], [`JackknifePlus`].
+//!
+//! ## Example
+//!
+//! ```
+//! use vmin_conformal::Cqr;
+//! use vmin_models::{GradientBoost, Loss};
+//! use vmin_linalg::Matrix;
+//!
+//! let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 20) as f64]).collect();
+//! let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0).collect();
+//! let x = Matrix::from_rows(&rows)?;
+//!
+//! let alpha = 0.1;
+//! let mut cqr = Cqr::new(
+//!     GradientBoost::new(Loss::Pinball(alpha / 2.0)),
+//!     GradientBoost::new(Loss::Pinball(1.0 - alpha / 2.0)),
+//!     alpha,
+//! );
+//! cqr.fit_calibrate(&x, &y, &x, &y)?;
+//! let interval = cqr.predict_interval(&[10.0])?;
+//! assert!(interval.contains(20.0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod cqr;
+mod cqr_asymmetric;
+mod cv_plus;
+mod extensions;
+mod interval;
+mod quantile;
+mod split_cp;
+
+pub use cqr::Cqr;
+pub use cqr_asymmetric::CqrAsymmetric;
+pub use cv_plus::CvPlus;
+pub use extensions::{JackknifePlus, MondrianConformal, NormalizedConformal};
+pub use interval::{evaluate_intervals, ConformalError, IntervalReport, PredictionInterval, Result};
+pub use quantile::{conformal_quantile, min_calibration_size};
+pub use split_cp::SplitConformal;

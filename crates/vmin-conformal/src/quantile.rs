@@ -1,0 +1,141 @@
+//! The conformal quantile: the finite-sample-corrected empirical quantile of
+//! calibration scores that gives split CP and CQR their coverage guarantee.
+
+use crate::interval::{ConformalError, Result};
+
+/// Computes the `⌈(M+1)(1−α)⌉ / M`-th empirical quantile of the calibration
+/// scores (the level used in Eq. 8/10 of the paper).
+///
+/// This is the *higher* empirical quantile: with `M` scores, it returns the
+/// `⌈(M+1)(1−α)⌉`-th smallest score. When the required rank exceeds `M`
+/// (small calibration sets or tiny α), the guarantee forces an infinite
+/// threshold; this function then returns `f64::INFINITY`, and the resulting
+/// interval is the whole line — exactly what the theory prescribes.
+///
+/// # Errors
+///
+/// - [`ConformalError::InvalidArgument`] when `scores` is empty, contains a
+///   NaN, or `alpha ∉ (0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// let scores = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+/// // M = 9, α = 0.1 → rank ⌈10·0.9⌉ = 9 → the 9th smallest = 9.0.
+/// let q = vmin_conformal::conformal_quantile(&scores, 0.1)?;
+/// assert_eq!(q, 9.0);
+/// # Ok::<(), vmin_conformal::ConformalError>(())
+/// ```
+pub fn conformal_quantile(scores: &[f64], alpha: f64) -> Result<f64> {
+    if scores.is_empty() {
+        return Err(ConformalError::InvalidArgument(
+            "empty calibration scores".into(),
+        ));
+    }
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(ConformalError::InvalidArgument(format!(
+            "alpha must be in (0, 1), got {alpha}"
+        )));
+    }
+    if scores.iter().any(|s| s.is_nan()) {
+        return Err(ConformalError::InvalidArgument(
+            "NaN in calibration scores".into(),
+        ));
+    }
+    let m = scores.len();
+    let rank = ((m as f64 + 1.0) * (1.0 - alpha)).ceil() as usize;
+    if rank > m {
+        return Ok(f64::INFINITY);
+    }
+    let mut sorted = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    Ok(sorted[rank - 1])
+}
+
+/// Minimum calibration-set size for which the conformal quantile is finite
+/// at miscoverage `alpha`: `M ≥ ⌈1/α⌉ − 1 + 1` i.e. `(M+1)·(1−α) ≤ M`.
+///
+/// # Examples
+///
+/// ```
+/// // α = 0.1 needs at least 9 calibration points for a finite interval.
+/// assert_eq!(vmin_conformal::min_calibration_size(0.1), 9);
+/// ```
+pub fn min_calibration_size(alpha: f64) -> usize {
+    let mut m = 1usize;
+    while ((m as f64 + 1.0) * (1.0 - alpha)).ceil() as usize > m {
+        m += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_rank_small_set() {
+        // M = 4, α = 0.5 → rank ⌈5·0.5⌉ = 3 → third smallest.
+        let q = conformal_quantile(&[10.0, 30.0, 20.0, 40.0], 0.5).unwrap();
+        assert_eq!(q, 30.0);
+    }
+
+    #[test]
+    fn infinite_when_calibration_too_small() {
+        // M = 3, α = 0.1 → rank ⌈4·0.9⌉ = 4 > 3 → ∞.
+        let q = conformal_quantile(&[1.0, 2.0, 3.0], 0.1).unwrap();
+        assert!(q.is_infinite());
+    }
+
+    #[test]
+    fn finite_exactly_at_min_size() {
+        let m = min_calibration_size(0.1);
+        let scores: Vec<f64> = (0..m).map(|i| i as f64).collect();
+        assert!(conformal_quantile(&scores, 0.1).unwrap().is_finite());
+        let fewer: Vec<f64> = (0..m - 1).map(|i| i as f64).collect();
+        assert!(conformal_quantile(&fewer, 0.1).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn quantile_is_conservative_vs_plain() {
+        // The conformal quantile at level 1−α is ≥ the plain empirical
+        // (1−α)-quantile because of the (M+1)/M correction.
+        let scores: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let conformal = conformal_quantile(&scores, 0.1).unwrap();
+        let plain = vmin_linalg_quantile(&scores, 0.9);
+        assert!(conformal >= plain, "{conformal} vs {plain}");
+    }
+
+    fn vmin_linalg_quantile(data: &[f64], p: f64) -> f64 {
+        let mut s = data.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let h = p * (s.len() - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        s[lo] + (s[hi] - s[lo]) * (h - lo as f64)
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(conformal_quantile(&[], 0.1).is_err());
+        assert!(conformal_quantile(&[1.0], 0.0).is_err());
+        assert!(conformal_quantile(&[1.0], 1.0).is_err());
+        assert!(conformal_quantile(&[f64::NAN], 0.1).is_err());
+    }
+
+    #[test]
+    fn min_calibration_sizes_for_common_alphas() {
+        assert_eq!(min_calibration_size(0.5), 1);
+        assert_eq!(min_calibration_size(0.2), 4);
+        assert_eq!(min_calibration_size(0.1), 9);
+        assert_eq!(min_calibration_size(0.05), 19);
+    }
+
+    #[test]
+    fn monotone_in_alpha() {
+        let scores: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let q10 = conformal_quantile(&scores, 0.10).unwrap();
+        let q20 = conformal_quantile(&scores, 0.20).unwrap();
+        assert!(q10 >= q20, "smaller α must give a larger threshold");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests on the conformal machinery — most importantly a
+//! randomized check of the finite-sample coverage guarantee itself.
+
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vmin_conformal::{conformal_quantile, min_calibration_size, PredictionInterval};
+
+proptest! {
+    /// The conformal quantile is at least as large as ⌈(M+1)(1−α)⌉/(M+1) of
+    /// the empirical mass: at least `rank` of the M scores lie at or below
+    /// it.
+    #[test]
+    fn conformal_quantile_rank_property(
+        scores in proptest::collection::vec(-100.0f64..100.0, 1..80),
+        alpha in 0.05f64..0.5,
+    ) {
+        let q = conformal_quantile(&scores, alpha).unwrap();
+        let m = scores.len();
+        let rank = ((m as f64 + 1.0) * (1.0 - alpha)).ceil() as usize;
+        if rank > m {
+            prop_assert!(q.is_infinite());
+        } else {
+            let at_or_below = scores.iter().filter(|&&s| s <= q).count();
+            prop_assert!(at_or_below >= rank,
+                "rank {rank} of {m} not reached: {at_or_below} at or below {q}");
+        }
+    }
+
+    /// Monotone in α: smaller miscoverage → larger (or equal) threshold.
+    #[test]
+    fn conformal_quantile_monotone(
+        scores in proptest::collection::vec(-10.0f64..10.0, 5..60),
+        a1 in 0.05f64..0.45,
+        da in 0.01f64..0.4,
+    ) {
+        let q_small_alpha = conformal_quantile(&scores, a1).unwrap();
+        let q_large_alpha = conformal_quantile(&scores, a1 + da).unwrap();
+        prop_assert!(q_small_alpha >= q_large_alpha);
+    }
+
+    /// min_calibration_size is exactly the threshold of finiteness.
+    #[test]
+    fn min_calibration_size_is_tight(alpha in 0.02f64..0.5) {
+        let m = min_calibration_size(alpha);
+        let scores: Vec<f64> = (0..m).map(|i| i as f64).collect();
+        prop_assert!(conformal_quantile(&scores, alpha).unwrap().is_finite());
+        if m > 1 {
+            let fewer: Vec<f64> = (0..m - 1).map(|i| i as f64).collect();
+            prop_assert!(conformal_quantile(&fewer, alpha).unwrap().is_infinite());
+        }
+    }
+
+    /// Interval constructor normalizes ordering and containment is
+    /// consistent with the endpoints.
+    #[test]
+    fn interval_invariants(a in -50.0f64..50.0, b in -50.0f64..50.0, y in -60.0f64..60.0) {
+        let iv = PredictionInterval::new(a, b);
+        prop_assert!(iv.lo() <= iv.hi());
+        prop_assert!(iv.length() >= 0.0);
+        prop_assert_eq!(iv.contains(y), y >= iv.lo() && y <= iv.hi());
+        prop_assert!(iv.contains(iv.midpoint()));
+    }
+}
+
+/// Randomized statistical check of the split-CP guarantee on i.i.d. scores:
+/// the fraction of fresh scores at or below the conformal quantile is at
+/// least 1 − α on average. This is the Table I "coverage guarantee" row as
+/// a property test.
+#[test]
+fn coverage_guarantee_statistical() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    for &alpha in &[0.1, 0.2, 0.3] {
+        let reps = 600;
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        for _ in 0..reps {
+            // Arbitrary (here: exponential-ish) i.i.d. score distribution —
+            // the guarantee is distribution-free.
+            let cal: Vec<f64> = (0..40).map(|_| -(1.0 - rng.gen::<f64>()).ln()).collect();
+            let q = conformal_quantile(&cal, alpha).unwrap();
+            for _ in 0..20 {
+                let s = -(1.0 - rng.gen::<f64>()).ln();
+                covered += usize::from(s <= q);
+                total += 1;
+            }
+        }
+        let cov = covered as f64 / total as f64;
+        assert!(
+            cov >= 1.0 - alpha - 0.02,
+            "α={alpha}: empirical coverage {cov} below guarantee"
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Cross-validated experiment drivers reproducing the paper's evaluation
+//! protocol (§IV-B): 4-fold CV, the same seed shared by all predictors,
+//! 75/25 train/calibration inside CQR, α = 0.1.
+
+use crate::flow::{eval_point_fold, eval_region_fold, FlowError, PointEval, RegionEval};
+use crate::scenario::{assemble_dataset, FeatureSet, ScenarioError};
+use crate::zoo::{ModelConfig, PointModel, RegionMethod};
+use vmin_data::KFold;
+use vmin_silicon::Campaign;
+
+/// Protocol parameters shared across all experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Miscoverage target (paper: 0.1 → 90% intervals).
+    pub alpha: f64,
+    /// Number of CV folds (paper: 4).
+    pub folds: usize,
+    /// Shared random seed (paper: same seed for all predictors).
+    pub seed: u64,
+    /// Calibration fraction inside CQR (paper: 0.25).
+    pub cal_fraction: f64,
+    /// Model training budgets.
+    pub models: ModelConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            alpha: 0.1,
+            folds: 4,
+            seed: 2024,
+            cal_fraction: 0.25,
+            models: ModelConfig::default(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Reduced budgets for fast tests.
+    pub fn fast() -> Self {
+        ExperimentConfig {
+            models: ModelConfig::fast(),
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+/// Error from an experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// Feature assembly failed.
+    Scenario(String),
+    /// A fold pipeline failed.
+    Flow(String),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Scenario(m) => write!(f, "scenario failure: {m}"),
+            ExperimentError::Flow(m) => write!(f, "flow failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<ScenarioError> for ExperimentError {
+    fn from(e: ScenarioError) -> Self {
+        ExperimentError::Scenario(e.to_string())
+    }
+}
+
+impl From<FlowError> for ExperimentError {
+    fn from(e: FlowError) -> Self {
+        ExperimentError::Flow(e.to_string())
+    }
+}
+
+impl From<vmin_data::DatasetError> for ExperimentError {
+    fn from(e: vmin_data::DatasetError) -> Self {
+        ExperimentError::Flow(e.to_string())
+    }
+}
+
+/// Cross-validated point-prediction score for one (read point, temperature)
+/// cell — one bar of Fig. 2.
+///
+/// Returns the average [`PointEval`] across the test folds.
+///
+/// # Errors
+///
+/// Propagates assembly and pipeline failures.
+pub fn run_point_cell(
+    campaign: &Campaign,
+    read_point: usize,
+    temp_idx: usize,
+    model: PointModel,
+    feature_set: FeatureSet,
+    cfg: &ExperimentConfig,
+) -> Result<PointEval, ExperimentError> {
+    let ds = assemble_dataset(campaign, read_point, temp_idx, feature_set)?;
+    let kf = KFold::new(ds.n_samples(), cfg.folds, cfg.seed);
+    let mut r2_sum = 0.0;
+    let mut rmse_sum = 0.0;
+    let mut nfeat_sum = 0usize;
+    for split in kf.iter() {
+        let train = ds.subset_rows(&split.train)?;
+        let test = ds.subset_rows(&split.test)?;
+        let eval = eval_point_fold(model, &cfg.models, &train, &test)?;
+        r2_sum += eval.r2;
+        rmse_sum += eval.rmse;
+        nfeat_sum += eval.n_features;
+    }
+    let k = cfg.folds as f64;
+    Ok(PointEval {
+        r2: r2_sum / k,
+        rmse: rmse_sum / k,
+        n_features: nfeat_sum / cfg.folds,
+    })
+}
+
+/// Cross-validated region-prediction score for one cell — one row-cell of
+/// Table III.
+///
+/// # Errors
+///
+/// Propagates assembly and pipeline failures.
+pub fn run_region_cell(
+    campaign: &Campaign,
+    read_point: usize,
+    temp_idx: usize,
+    method: RegionMethod,
+    feature_set: FeatureSet,
+    cfg: &ExperimentConfig,
+) -> Result<RegionEval, ExperimentError> {
+    let ds = assemble_dataset(campaign, read_point, temp_idx, feature_set)?;
+    let kf = KFold::new(ds.n_samples(), cfg.folds, cfg.seed);
+    let mut len_sum = 0.0;
+    let mut cov_sum = 0.0;
+    for (fold, split) in kf.iter().enumerate() {
+        let train = ds.subset_rows(&split.train)?;
+        let test = ds.subset_rows(&split.test)?;
+        let eval = eval_region_fold(
+            method,
+            &cfg.models,
+            &train,
+            &test,
+            cfg.alpha,
+            cfg.cal_fraction,
+            // Same seed family for every method (fair comparison, §IV-B),
+            // distinct per fold.
+            cfg.seed.wrapping_add(fold as u64),
+        )?;
+        len_sum += eval.mean_length;
+        cov_sum += eval.coverage;
+    }
+    let k = cfg.folds as f64;
+    Ok(RegionEval {
+        mean_length: len_sum / k,
+        coverage: cov_sum / k,
+    })
+}
+
+/// One row of the Table IV summary: interval stats per temperature for a
+/// feature set, averaged across all stress read points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSetSummary {
+    /// The feature family evaluated.
+    pub feature_set: FeatureSet,
+    /// Mean interval length (mV) per temperature index, averaged over read
+    /// points.
+    pub length_per_temp: Vec<f64>,
+    /// Grand average across temperatures.
+    pub average_length: f64,
+}
+
+/// Runs the Table IV / Fig. 3 study: CQR with the given base model on each
+/// feature set, averaged across every read point.
+///
+/// # Errors
+///
+/// Propagates assembly and pipeline failures.
+pub fn run_feature_set_study(
+    campaign: &Campaign,
+    method: RegionMethod,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<FeatureSetSummary>, ExperimentError> {
+    let mut out = Vec::new();
+    for feature_set in [FeatureSet::Parametric, FeatureSet::OnChip, FeatureSet::Both] {
+        let n_temps = campaign.temperatures.len();
+        let n_rps = campaign.read_points.len();
+        let mut per_temp = vec![0.0; n_temps];
+        for temp_idx in 0..n_temps {
+            for rp in 0..n_rps {
+                let eval = run_region_cell(campaign, rp, temp_idx, method, feature_set, cfg)?;
+                per_temp[temp_idx] += eval.mean_length;
+            }
+            per_temp[temp_idx] /= n_rps as f64;
+        }
+        let average = per_temp.iter().sum::<f64>() / n_temps as f64;
+        out.push(FeatureSetSummary {
+            feature_set,
+            length_per_temp: per_temp,
+            average_length: average,
+        });
+    }
+    Ok(out)
+}
+
+/// The headline Table IV statistic: relative interval-length reduction from
+/// adding on-chip monitors to parametric data (paper: ≈ 21%).
+///
+/// # Panics
+///
+/// Panics if `summaries` lacks the Parametric or Both rows.
+pub fn onchip_monitor_gain(summaries: &[FeatureSetSummary]) -> f64 {
+    let parametric = summaries
+        .iter()
+        .find(|s| s.feature_set == FeatureSet::Parametric)
+        .expect("parametric row present");
+    let both = summaries
+        .iter()
+        .find(|s| s.feature_set == FeatureSet::Both)
+        .expect("both row present");
+    (parametric.average_length - both.average_length) / parametric.average_length
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmin_silicon::DatasetSpec;
+
+    fn campaign() -> Campaign {
+        Campaign::run(&DatasetSpec::small(), 11)
+    }
+
+    #[test]
+    fn point_cell_linear_gets_signal() {
+        let c = campaign();
+        let eval = run_point_cell(
+            &c,
+            0,
+            1,
+            PointModel::Linear,
+            FeatureSet::Both,
+            &ExperimentConfig::fast(),
+        )
+        .unwrap();
+        assert!(
+            eval.r2 > 0.3,
+            "time-0 Vmin should be predictable from full features, R²={}",
+            eval.r2
+        );
+    }
+
+    #[test]
+    fn region_cell_cqr_linear_covers() {
+        let c = campaign();
+        let eval = run_region_cell(
+            &c,
+            0,
+            1,
+            RegionMethod::Cqr(PointModel::Linear),
+            FeatureSet::Both,
+            &ExperimentConfig::fast(),
+        )
+        .unwrap();
+        // Small-n + guarantee → coverage near or above 1−α on average.
+        assert!(eval.coverage > 0.7, "CQR coverage {}", eval.coverage);
+        assert!(eval.mean_length > 0.0);
+    }
+
+    #[test]
+    fn feature_set_study_has_three_rows() {
+        let c = campaign();
+        // 4 folds keep the CQR calibration split above
+        // min_calibration_size(0.1) = 9 chips on the small campaign.
+        let cfg = ExperimentConfig::fast();
+        let rows = run_feature_set_study(&c, RegionMethod::Cqr(PointModel::Linear), &cfg).unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.length_per_temp.len(), 3);
+            assert!(r.average_length > 0.0);
+        }
+        let gain = onchip_monitor_gain(&rows);
+        assert!(gain.is_finite());
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(cfg.alpha, 0.1);
+        assert_eq!(cfg.folds, 4);
+        assert_eq!(cfg.cal_fraction, 0.25);
+    }
+}

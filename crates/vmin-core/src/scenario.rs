@@ -1,0 +1,315 @@
+//! Feature assembly for the two prediction scenarios of §III-A / §IV-B.
+//!
+//! - **Time 0** (production test): parametric data and on-chip monitor data,
+//!   both collected at time 0, predict time-0 Vmin.
+//! - **In-field degradation** (read point `k > 0`): parametric data from
+//!   time 0 (parametric tests are impossible once chips ship) plus on-chip
+//!   monitor data from all *previous* read points predict Vmin at read
+//!   point `k`.
+//!
+//! The assembled feature set can be restricted to parametric-only or
+//! on-chip-only to reproduce the Table IV / Fig. 3 comparison.
+
+use std::error::Error;
+use std::fmt;
+use vmin_data::Dataset;
+use vmin_linalg::Matrix;
+use vmin_silicon::Campaign;
+
+/// Which feature families enter the model (Fig. 3 / Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureSet {
+    /// Parametric ATE tests only (time 0).
+    Parametric,
+    /// On-chip monitors only (ROD + CPD).
+    OnChip,
+    /// Both families — the paper's main configuration.
+    Both,
+}
+
+impl fmt::Display for FeatureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FeatureSet::Parametric => "Parametric",
+            FeatureSet::OnChip => "On-chip",
+            FeatureSet::Both => "On-chip and Parametric",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error from feature assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// Read point or temperature index out of range for the campaign.
+    IndexOutOfRange(String),
+    /// Internal shape inconsistency (should not occur on well-formed
+    /// campaigns).
+    Shape(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::IndexOutOfRange(m) => write!(f, "index out of range: {m}"),
+            ScenarioError::Shape(m) => write!(f, "shape inconsistency: {m}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {}
+
+/// Which monitor read points feed the prediction of Vmin at `read_point`.
+///
+/// Time 0 uses the monitors collected at time 0 itself (everything is
+/// measured in the same production-test insertion); later read points use
+/// strictly previous monitor data so the prediction is a genuine *forecast*
+/// of in-field degradation.
+pub fn monitor_read_points(read_point: usize) -> Vec<usize> {
+    if read_point == 0 {
+        vec![0]
+    } else {
+        (0..read_point).collect()
+    }
+}
+
+/// Builds the supervised dataset for predicting SCAN Vmin at
+/// `(read_point, temp_idx)` from the campaign's measurements.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::IndexOutOfRange`] for invalid indices, and
+/// [`ScenarioError::Shape`] if the campaign data is internally inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use vmin_core::{assemble_dataset, FeatureSet};
+/// use vmin_silicon::{Campaign, DatasetSpec};
+///
+/// let campaign = Campaign::run(&DatasetSpec::small(), 1);
+/// let ds = assemble_dataset(&campaign, 0, 1, FeatureSet::Both)?;
+/// assert_eq!(ds.n_samples(), campaign.chip_count());
+/// # Ok::<(), vmin_core::ScenarioError>(())
+/// ```
+pub fn assemble_dataset(
+    campaign: &Campaign,
+    read_point: usize,
+    temp_idx: usize,
+    feature_set: FeatureSet,
+) -> Result<Dataset, ScenarioError> {
+    if read_point >= campaign.read_points.len() {
+        return Err(ScenarioError::IndexOutOfRange(format!(
+            "read point {read_point} (campaign has {})",
+            campaign.read_points.len()
+        )));
+    }
+    if temp_idx >= campaign.temperatures.len() {
+        return Err(ScenarioError::IndexOutOfRange(format!(
+            "temperature index {temp_idx} (campaign has {})",
+            campaign.temperatures.len()
+        )));
+    }
+
+    let monitor_points = monitor_read_points(read_point);
+    let use_parametric = matches!(feature_set, FeatureSet::Parametric | FeatureSet::Both);
+    let use_onchip = matches!(feature_set, FeatureSet::OnChip | FeatureSet::Both);
+
+    let mut names: Vec<String> = Vec::new();
+    if use_parametric {
+        names.extend(campaign.parametric_names.iter().cloned());
+    }
+    if use_onchip {
+        for &k in &monitor_points {
+            names.extend(campaign.rod_names(k));
+            names.extend(campaign.cpd_names(k));
+        }
+    }
+
+    let n = campaign.chip_count();
+    let d = names.len();
+    let mut features = Matrix::zeros(n, d);
+    let mut targets = Vec::with_capacity(n);
+    for (i, chip) in campaign.chips.iter().enumerate() {
+        let mut col = 0;
+        if use_parametric {
+            for &v in &chip.parametric {
+                features[(i, col)] = v;
+                col += 1;
+            }
+        }
+        if use_onchip {
+            for &k in &monitor_points {
+                for &v in &chip.rod[k] {
+                    features[(i, col)] = v;
+                    col += 1;
+                }
+                for &v in &chip.cpd[k] {
+                    features[(i, col)] = v;
+                    col += 1;
+                }
+            }
+        }
+        if col != d {
+            return Err(ScenarioError::Shape(format!(
+                "chip {i}: filled {col} of {d} feature columns"
+            )));
+        }
+        targets.push(chip.vmin_mv[read_point][temp_idx]);
+    }
+
+    Dataset::new(features, targets, names).map_err(|e| ScenarioError::Shape(e.to_string()))
+}
+
+/// Like [`assemble_dataset`], but additionally appends *trend features* for
+/// in-field read points: the per-monitor delta between the latest and the
+/// earliest available read (ROD and CPD), explicitly encoding each chip's
+/// observed degradation slope.
+///
+/// §III-A notes that with fewer than 10 read points, time-series models
+/// overfit and the paper simply treats each read point as separate
+/// features; engineered deltas are the lightweight middle ground and are
+/// exercised by the ablation tests.
+///
+/// For `read_point == 0` (a single monitor read) this is identical to
+/// [`assemble_dataset`].
+///
+/// # Errors
+///
+/// Same conditions as [`assemble_dataset`].
+pub fn assemble_dataset_with_trends(
+    campaign: &Campaign,
+    read_point: usize,
+    temp_idx: usize,
+    feature_set: FeatureSet,
+) -> Result<Dataset, ScenarioError> {
+    let base = assemble_dataset(campaign, read_point, temp_idx, feature_set)?;
+    let points = monitor_read_points(read_point);
+    if points.len() < 2 || matches!(feature_set, FeatureSet::Parametric) {
+        return Ok(base);
+    }
+    let first = *points.first().expect("non-empty");
+    let last = *points.last().expect("non-empty");
+    let n = campaign.chip_count();
+    let rods = campaign.spec.monitors.rod_count;
+    let cpds = campaign.spec.monitors.cpd_count;
+    let mut names: Vec<String> = (0..rods).map(|j| format!("rod_{j:03}_delta")).collect();
+    names.extend((0..cpds).map(|j| format!("cpd_{j:02}_delta")));
+    let mut trend = Matrix::zeros(n, rods + cpds);
+    for (i, chip) in campaign.chips.iter().enumerate() {
+        for j in 0..rods {
+            trend[(i, j)] = chip.rod[last][j] - chip.rod[first][j];
+        }
+        for j in 0..cpds {
+            trend[(i, rods + j)] = chip.cpd[last][j] - chip.cpd[first][j];
+        }
+    }
+    let trend_ds = Dataset::new(trend, base.targets().to_vec(), names)
+        .map_err(|e| ScenarioError::Shape(e.to_string()))?;
+    base.hconcat(&trend_ds)
+        .map_err(|e| ScenarioError::Shape(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmin_silicon::DatasetSpec;
+
+    fn campaign() -> Campaign {
+        Campaign::run(&DatasetSpec::small(), 3)
+    }
+
+    #[test]
+    fn monitor_points_follow_the_paper() {
+        assert_eq!(monitor_read_points(0), vec![0]);
+        assert_eq!(monitor_read_points(1), vec![0]);
+        assert_eq!(monitor_read_points(3), vec![0, 1, 2]);
+        assert_eq!(monitor_read_points(5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn time0_dimensions() {
+        let c = campaign();
+        let spec = DatasetSpec::small();
+        let par = spec.parametric.total_tests();
+        let mon = spec.monitors.rod_count + spec.monitors.cpd_count;
+        let both = assemble_dataset(&c, 0, 0, FeatureSet::Both).unwrap();
+        assert_eq!(both.n_features(), par + mon);
+        let p = assemble_dataset(&c, 0, 0, FeatureSet::Parametric).unwrap();
+        assert_eq!(p.n_features(), par);
+        let o = assemble_dataset(&c, 0, 0, FeatureSet::OnChip).unwrap();
+        assert_eq!(o.n_features(), mon);
+    }
+
+    #[test]
+    fn infield_features_grow_with_read_point() {
+        let c = campaign();
+        let spec = DatasetSpec::small();
+        let mon = spec.monitors.rod_count + spec.monitors.cpd_count;
+        let d2 = assemble_dataset(&c, 2, 0, FeatureSet::OnChip).unwrap();
+        assert_eq!(d2.n_features(), 2 * mon); // read points {0, 1}
+        let d5 = assemble_dataset(&c, 5, 0, FeatureSet::OnChip).unwrap();
+        assert_eq!(d5.n_features(), 5 * mon); // read points {0..4}
+    }
+
+    #[test]
+    fn infield_uses_only_past_monitor_data() {
+        let c = campaign();
+        let ds = assemble_dataset(&c, 3, 1, FeatureSet::Both).unwrap();
+        // No feature name may reference hour 168 (index 3) or later.
+        for name in ds.names() {
+            assert!(
+                !name.contains("h168") && !name.contains("h504") && !name.contains("h1008"),
+                "leaky feature: {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn targets_match_campaign_column() {
+        let c = campaign();
+        let ds = assemble_dataset(&c, 4, 2, FeatureSet::Parametric).unwrap();
+        assert_eq!(ds.targets(), c.vmin_column(4, 2).as_slice());
+    }
+
+    #[test]
+    fn out_of_range_indices_error() {
+        let c = campaign();
+        assert!(assemble_dataset(&c, 99, 0, FeatureSet::Both).is_err());
+        assert!(assemble_dataset(&c, 0, 99, FeatureSet::Both).is_err());
+    }
+
+    #[test]
+    fn trend_features_extend_infield_datasets() {
+        let c = campaign();
+        let spec = DatasetSpec::small();
+        let per_rp = spec.monitors.rod_count + spec.monitors.cpd_count;
+        let base = assemble_dataset(&c, 3, 1, FeatureSet::OnChip).unwrap();
+        let trended = assemble_dataset_with_trends(&c, 3, 1, FeatureSet::OnChip).unwrap();
+        assert_eq!(trended.n_features(), base.n_features() + per_rp);
+        assert!(trended.names().iter().any(|n| n.ends_with("_delta")));
+        // Delta columns equal last-minus-first monitor reads.
+        let j = base.n_features(); // first delta column = rod 0
+        let chip0 = &c.chips[0];
+        let expected = chip0.rod[2][0] - chip0.rod[0][0]; // points {0,1,2}
+        assert!((trended.sample(0)[j] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trend_features_are_identity_at_time0_and_parametric() {
+        let c = campaign();
+        let t0 = assemble_dataset_with_trends(&c, 0, 1, FeatureSet::Both).unwrap();
+        let base0 = assemble_dataset(&c, 0, 1, FeatureSet::Both).unwrap();
+        assert_eq!(t0, base0);
+        let par = assemble_dataset_with_trends(&c, 4, 1, FeatureSet::Parametric).unwrap();
+        let base_par = assemble_dataset(&c, 4, 1, FeatureSet::Parametric).unwrap();
+        assert_eq!(par, base_par);
+    }
+
+    #[test]
+    fn feature_set_display() {
+        assert_eq!(FeatureSet::Both.to_string(), "On-chip and Parametric");
+        assert_eq!(FeatureSet::Parametric.to_string(), "Parametric");
+        assert_eq!(FeatureSet::OnChip.to_string(), "On-chip");
+    }
+}

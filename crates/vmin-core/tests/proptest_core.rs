@@ -1,0 +1,100 @@
+//! Property-based tests on the framework layer: feature-assembly causality,
+//! dataset alignment, and predictor robustness across arbitrary seeds.
+
+use proptest::prelude::*;
+use vmin_core::{
+    assemble_dataset, monitor_read_points, FeatureSet, ModelConfig, PointModel, RegionMethod,
+    VminPredictor,
+};
+use vmin_silicon::{Campaign, DatasetSpec};
+
+fn tiny_spec() -> DatasetSpec {
+    let mut spec = DatasetSpec::small();
+    spec.chip_count = 24;
+    spec.paths_per_chip = 4;
+    spec.parametric.iddq_per_temp = 4;
+    spec.parametric.trip_idd_per_temp = 2;
+    spec.parametric.leakage_per_temp = 3;
+    spec.parametric.artifact_per_temp = 1;
+    spec.monitors.rod_count = 8;
+    spec.monitors.cpd_count = 2;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Monitor read points are always strictly causal and non-empty.
+    #[test]
+    fn monitor_points_strictly_causal(rp in 0usize..12) {
+        let pts = monitor_read_points(rp);
+        prop_assert!(!pts.is_empty());
+        if rp == 0 {
+            prop_assert_eq!(pts, vec![0]);
+        } else {
+            prop_assert!(pts.iter().all(|&p| p < rp));
+            prop_assert_eq!(pts.len(), rp);
+        }
+    }
+
+    /// Any (seed, read point, temperature, feature set) assembles a dataset
+    /// whose shape follows the campaign spec exactly.
+    #[test]
+    fn assembly_shape_invariant(
+        seed in 0u64..500,
+        rp in 0usize..6,
+        temp in 0usize..3,
+        fs_pick in 0usize..3,
+    ) {
+        let spec = tiny_spec();
+        let campaign = Campaign::run(&spec, seed);
+        let fs = [FeatureSet::Parametric, FeatureSet::OnChip, FeatureSet::Both][fs_pick];
+        let ds = assemble_dataset(&campaign, rp, temp, fs).unwrap();
+        prop_assert_eq!(ds.n_samples(), spec.chip_count);
+        let per_rp = spec.monitors.rod_count + spec.monitors.cpd_count;
+        let monitor_cols = monitor_read_points(rp).len() * per_rp;
+        let expected = match fs {
+            FeatureSet::Parametric => spec.parametric.total_tests(),
+            FeatureSet::OnChip => monitor_cols,
+            FeatureSet::Both => spec.parametric.total_tests() + monitor_cols,
+        };
+        prop_assert_eq!(ds.n_features(), expected);
+        prop_assert_eq!(ds.names().len(), expected);
+        prop_assert!(ds.targets().iter().all(|v| v.is_finite()));
+    }
+
+    /// Targets always equal the campaign's Vmin column for the same cell.
+    #[test]
+    fn assembly_targets_aligned(seed in 0u64..200, rp in 0usize..6, temp in 0usize..3) {
+        let campaign = Campaign::run(&tiny_spec(), seed);
+        let ds = assemble_dataset(&campaign, rp, temp, FeatureSet::OnChip).unwrap();
+        let expected = campaign.vmin_column(rp, temp);
+        prop_assert_eq!(ds.targets(), expected.as_slice());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A CQR predictor fits and produces ordered, finite intervals for any
+    /// campaign seed (α = 0.25 keeps the tiny calibration set workable).
+    #[test]
+    fn predictor_robust_across_seeds(seed in 0u64..100) {
+        let campaign = Campaign::run(&tiny_spec(), seed * 37 + 5);
+        let ds = assemble_dataset(&campaign, 0, 1, FeatureSet::Both).unwrap();
+        let p = VminPredictor::fit(
+            &ds,
+            RegionMethod::Cqr(PointModel::Linear),
+            0.25,
+            0.4,
+            seed,
+            &ModelConfig::fast(),
+        )
+        .unwrap();
+        for i in 0..ds.n_samples().min(6) {
+            let iv = p.interval(ds.sample(i)).unwrap();
+            prop_assert!(iv.lo() <= iv.hi());
+            prop_assert!(iv.lo().is_finite() && iv.hi().is_finite());
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Correlation Feature Selection (CFS) with Pearson correlation.
+//!
+//! The paper (§IV-C) applies CFS [Hall 1999] to pick 1..=10 features for
+//! linear regression, Gaussian process and neural-network models, because
+//! those models overfit on thousands of raw parametric features.
+//!
+//! CFS ranks feature subsets by the merit
+//!
+//! ```text
+//!            k · r̄_cf
+//! M(S) = ─────────────────────
+//!        √(k + k (k−1) · r̄_ff)
+//! ```
+//!
+//! where `k = |S|`, `r̄_cf` is the mean absolute feature–target correlation
+//! and `r̄_ff` the mean absolute feature–feature correlation of the subset —
+//! rewarding features that predict the target but do not duplicate each
+//! other. The subset is grown greedily (best-first forward search).
+
+use vmin_linalg::{pearson, Matrix};
+
+/// Result of a CFS run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfsSelection {
+    /// Selected column indices, in selection order.
+    pub selected: Vec<usize>,
+    /// Merit of the selected subset.
+    pub merit: f64,
+}
+
+/// The CFS merit of the subset `s` given precomputed correlations.
+///
+/// `r_cf[j]` is the absolute feature–target correlation of column `j`;
+/// `r_ff` is the symmetric absolute feature–feature correlation lookup.
+fn merit(s: &[usize], r_cf: &[f64], r_ff: &Matrix) -> f64 {
+    let k = s.len() as f64;
+    if s.is_empty() {
+        return 0.0;
+    }
+    let mean_cf = s.iter().map(|&j| r_cf[j]).sum::<f64>() / k;
+    let mut sum_ff = 0.0;
+    let mut pairs = 0.0;
+    for (a, &i) in s.iter().enumerate() {
+        for &j in &s[a + 1..] {
+            sum_ff += r_ff[(i, j)];
+            pairs += 1.0;
+        }
+    }
+    let mean_ff = if pairs > 0.0 { sum_ff / pairs } else { 0.0 };
+    let denom = (k + k * (k - 1.0) * mean_ff).sqrt();
+    if denom <= 0.0 {
+        0.0
+    } else {
+        k * mean_cf / denom
+    }
+}
+
+/// Greedy forward CFS: selects up to `max_features` columns of `x` that
+/// jointly predict `y`.
+///
+/// To keep the feature–feature correlation matrix tractable on thousands of
+/// parametric tests, the search is restricted to the `pool_size` columns
+/// with the highest absolute target correlation (a standard CFS
+/// pre-filter). Selection stops early when adding any candidate fails to
+/// improve the merit.
+///
+/// # Panics
+///
+/// Panics if `x.rows() != y.len()` or `max_features == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use vmin_data::cfs_select;
+/// use vmin_linalg::Matrix;
+///
+/// // Column 0 is the signal, column 1 is a copy, column 2 is junk.
+/// let x = Matrix::from_rows(&[
+///     vec![1.0, 1.1, 0.3], vec![2.0, 2.1, -0.2],
+///     vec![3.0, 2.9, 0.9], vec![4.0, 4.2, -0.5],
+/// ])?;
+/// let y = [1.0, 2.0, 3.0, 4.0];
+/// let sel = cfs_select(&x, &y, 2, 3);
+/// assert_eq!(sel.selected[0], 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn cfs_select(x: &Matrix, y: &[f64], max_features: usize, pool_size: usize) -> CfsSelection {
+    assert_eq!(x.rows(), y.len(), "cfs: rows vs targets mismatch");
+    assert!(max_features > 0, "cfs: max_features must be positive");
+
+    // Rank all columns by |corr with target|.
+    let mut r_all: Vec<(usize, f64)> = (0..x.cols())
+        .map(|j| (j, pearson(&x.col(j), y).abs()))
+        .collect();
+    r_all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("correlations are finite"));
+    let pool: Vec<usize> = r_all
+        .iter()
+        .take(pool_size.max(max_features).min(x.cols()))
+        .map(|&(j, _)| j)
+        .collect();
+
+    // Precompute correlations within the pool.
+    let mut r_cf = vec![0.0; x.cols()];
+    for &(j, r) in &r_all {
+        r_cf[j] = r;
+    }
+    let cols: Vec<Vec<f64>> = pool.iter().map(|&j| x.col(j)).collect();
+    let mut r_ff = Matrix::zeros(x.cols(), x.cols());
+    for (a, &i) in pool.iter().enumerate() {
+        for (b, &j) in pool.iter().enumerate().skip(a + 1) {
+            let r = pearson(&cols[a], &cols[b]).abs();
+            r_ff[(i, j)] = r;
+            r_ff[(j, i)] = r;
+        }
+    }
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut best_merit = 0.0;
+    while selected.len() < max_features {
+        let mut best_candidate: Option<(usize, f64)> = None;
+        for &j in &pool {
+            if selected.contains(&j) {
+                continue;
+            }
+            selected.push(j);
+            let m = merit(&selected, &r_cf, &r_ff);
+            selected.pop();
+            match best_candidate {
+                Some((_, bm)) if bm >= m => {}
+                _ => best_candidate = Some((j, m)),
+            }
+        }
+        match best_candidate {
+            Some((j, m)) if m > best_merit || selected.is_empty() => {
+                selected.push(j);
+                best_merit = m;
+            }
+            _ => break,
+        }
+    }
+    CfsSelection {
+        selected,
+        merit: best_merit,
+    }
+}
+
+/// Runs [`cfs_select`] for every subset size in `1..=max_features` and
+/// returns the per-size selections (the paper reports the best score over
+/// 1..=10 features; the caller evaluates each on validation data).
+pub fn cfs_sweep(x: &Matrix, y: &[f64], max_features: usize, pool_size: usize) -> Vec<CfsSelection> {
+    let full = cfs_select(x, y, max_features, pool_size);
+    let mut out = Vec::with_capacity(max_features);
+    for k in 1..=max_features {
+        if k <= full.selected.len() {
+            out.push(CfsSelection {
+                selected: full.selected[..k].to_vec(),
+                merit: f64::NAN, // merit of the prefix is not tracked
+            });
+        } else {
+            // Greedy search stopped early; reuse the final subset.
+            out.push(full.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Builds x with: col0 = signal, col1 = signal copy (redundant),
+    /// col2..4 = noise; y = signal.
+    fn synthetic() -> (Matrix, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 60;
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s: f64 = rng.gen_range(-1.0..1.0);
+            let copy = s + 0.05 * rng.gen_range(-1.0..1.0);
+            let n1: f64 = rng.gen_range(-1.0..1.0);
+            let n2: f64 = rng.gen_range(-1.0..1.0);
+            let n3: f64 = rng.gen_range(-1.0..1.0);
+            rows.push(vec![s, copy, n1, n2, n3]);
+            y.push(2.0 * s + 0.01 * rng.gen_range(-1.0..1.0));
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn picks_the_signal_first() {
+        let (x, y) = synthetic();
+        let sel = cfs_select(&x, &y, 3, 5);
+        assert!(
+            sel.selected[0] == 0 || sel.selected[0] == 1,
+            "first pick should be a signal column, got {:?}",
+            sel.selected
+        );
+        assert!(sel.merit > 0.5);
+    }
+
+    #[test]
+    fn penalizes_redundant_copy() {
+        let (x, y) = synthetic();
+        let sel = cfs_select(&x, &y, 5, 5);
+        // After the signal, its near-copy adds almost no merit; the search
+        // should stop before selecting everything.
+        assert!(
+            sel.selected.len() < 5,
+            "greedy CFS should stop early, took {:?}",
+            sel.selected
+        );
+    }
+
+    #[test]
+    fn merit_formula_known_case() {
+        // Two features, each r_cf = 0.6, r_ff = 0.0 →
+        // merit = 2·0.6/√2 ≈ 0.8485.
+        let r_cf = vec![0.6, 0.6];
+        let r_ff = Matrix::zeros(2, 2);
+        let m = merit(&[0, 1], &r_cf, &r_ff);
+        assert!((m - 1.2 / 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merit_falls_with_feature_redundancy() {
+        let r_cf = vec![0.6, 0.6];
+        let mut corr = Matrix::zeros(2, 2);
+        corr[(0, 1)] = 0.9;
+        corr[(1, 0)] = 0.9;
+        let redundant = merit(&[0, 1], &r_cf, &corr);
+        let independent = merit(&[0, 1], &r_cf, &Matrix::zeros(2, 2));
+        assert!(redundant < independent);
+    }
+
+    #[test]
+    fn merit_of_empty_subset_is_zero() {
+        assert_eq!(merit(&[], &[], &Matrix::zeros(1, 1)), 0.0);
+    }
+
+    #[test]
+    fn sweep_produces_growing_prefixes() {
+        let (x, y) = synthetic();
+        let sweep = cfs_sweep(&x, &y, 4, 5);
+        assert_eq!(sweep.len(), 4);
+        assert_eq!(sweep[0].selected.len(), 1);
+        for w in sweep.windows(2) {
+            let (a, b) = (&w[0].selected, &w[1].selected);
+            assert!(b.len() >= a.len());
+            assert_eq!(&b[..a.len()], &a[..], "later selections extend earlier ones");
+        }
+    }
+
+    #[test]
+    fn respects_pool_restriction() {
+        let (x, y) = synthetic();
+        // Pool of 1: only the top-correlated column is considered.
+        let sel = cfs_select(&x, &y, 3, 1);
+        assert_eq!(sel.selected.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_features")]
+    fn zero_max_features_panics() {
+        let (x, y) = synthetic();
+        cfs_select(&x, &y, 0, 5);
+    }
+}

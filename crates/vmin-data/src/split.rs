@@ -1,0 +1,197 @@
+//! Deterministic data splitting: shuffled train/calibration splits and
+//! k-fold cross-validation.
+//!
+//! The paper (§IV-B) uses 4-fold cross-validation with a fixed seed shared
+//! across all interval predictors, and a 75/25 train/calibration split
+//! inside CQR. Both splits here are seed-deterministic.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A single train/test (or train/calibration) index split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices of the first part (train).
+    pub train: Vec<usize>,
+    /// Indices of the second part (test or calibration).
+    pub test: Vec<usize>,
+}
+
+/// Shuffles `0..n` with `seed` and splits it so that `train_fraction` of the
+/// samples land in `train`.
+///
+/// The train part receives `ceil(train_fraction * n)` samples, and both
+/// parts are guaranteed non-empty when `n >= 2` and
+/// `0 < train_fraction < 1`.
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is outside `(0, 1)` or `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let split = vmin_data::train_test_split(8, 0.75, 42);
+/// assert_eq!(split.train.len(), 6);
+/// assert_eq!(split.test.len(), 2);
+/// ```
+pub fn train_test_split(n: usize, train_fraction: f64, seed: u64) -> Split {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train_fraction must be in (0, 1), got {train_fraction}"
+    );
+    assert!(n >= 2, "need at least 2 samples to split, got {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_train = ((train_fraction * n as f64).ceil() as usize).clamp(1, n - 1);
+    let test = idx.split_off(n_train);
+    Split { train: idx, test }
+}
+
+/// K-fold cross-validation splitter with deterministic shuffling.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Shuffles `0..n` with `seed` and partitions it into `k` folds whose
+    /// sizes differ by at most one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k < 2` or `k > n`.
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k >= 2, "k-fold needs k >= 2, got {k}");
+        assert!(k <= n, "cannot make {k} folds from {n} samples");
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let base = n / k;
+        let extra = n % k;
+        let mut folds = Vec::with_capacity(k);
+        let mut start = 0;
+        for f in 0..k {
+            let len = base + usize::from(f < extra);
+            folds.push(idx[start..start + len].to_vec());
+            start += len;
+        }
+        KFold { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// The `i`-th train/test split: fold `i` is the test set, the rest train.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.k()`.
+    pub fn split(&self, i: usize) -> Split {
+        assert!(i < self.folds.len(), "fold {i} out of range");
+        let test = self.folds[i].clone();
+        let train = self
+            .folds
+            .iter()
+            .enumerate()
+            .filter(|(f, _)| *f != i)
+            .flat_map(|(_, fold)| fold.iter().copied())
+            .collect();
+        Split { train, test }
+    }
+
+    /// Iterator over all k train/test splits.
+    pub fn iter(&self) -> impl Iterator<Item = Split> + '_ {
+        (0..self.k()).map(move |i| self.split(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn split_is_a_partition() {
+        let s = train_test_split(100, 0.75, 1);
+        assert_eq!(s.train.len(), 75);
+        assert_eq!(s.test.len(), 25);
+        let all: BTreeSet<usize> = s.train.iter().chain(&s.test).copied().collect();
+        assert_eq!(all.len(), 100);
+        assert_eq!(*all.iter().max().unwrap(), 99);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.6, 9), train_test_split(50, 0.6, 9));
+        assert_ne!(train_test_split(50, 0.6, 9), train_test_split(50, 0.6, 10));
+    }
+
+    #[test]
+    fn split_never_empties_either_side() {
+        for n in 2..10 {
+            for frac in [0.01, 0.5, 0.99] {
+                let s = train_test_split(n, frac, 3);
+                assert!(!s.train.is_empty(), "n={n} frac={frac}");
+                assert!(!s.test.is_empty(), "n={n} frac={frac}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn split_rejects_bad_fraction() {
+        train_test_split(10, 1.0, 0);
+    }
+
+    #[test]
+    fn kfold_partitions_everything() {
+        let kf = KFold::new(156, 4, 2024);
+        assert_eq!(kf.k(), 4);
+        let mut seen = BTreeSet::new();
+        for i in 0..4 {
+            let s = kf.split(i);
+            assert_eq!(s.train.len() + s.test.len(), 156);
+            for &t in &s.test {
+                assert!(seen.insert(t), "index {t} appeared in two test folds");
+            }
+        }
+        assert_eq!(seen.len(), 156);
+    }
+
+    #[test]
+    fn kfold_fold_sizes_balanced() {
+        let kf = KFold::new(10, 4, 0);
+        let sizes: Vec<usize> = (0..4).map(|i| kf.split(i).test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+    }
+
+    #[test]
+    fn kfold_train_test_disjoint() {
+        let kf = KFold::new(30, 5, 7);
+        for s in kf.iter() {
+            let train: BTreeSet<_> = s.train.iter().collect();
+            assert!(s.test.iter().all(|t| !train.contains(t)));
+        }
+    }
+
+    #[test]
+    fn kfold_deterministic() {
+        let a = KFold::new(40, 4, 5);
+        let b = KFold::new(40, 4, 5);
+        for i in 0..4 {
+            assert_eq!(a.split(i), b.split(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn kfold_rejects_k1() {
+        KFold::new(10, 1, 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Z-score standardization fit on training data only.
+//!
+//! All models in `vmin-models` expect standardized inputs; fitting the
+//! scaler on the training fold and applying it unchanged to test data avoids
+//! information leakage across the CV boundary.
+
+use crate::dataset::{Dataset, DatasetError};
+use vmin_linalg::Matrix;
+
+/// Per-column mean/standard-deviation scaler.
+///
+/// Columns with zero variance are passed through centered but unscaled
+/// (divisor clamped to 1), so constant features stay harmless.
+///
+/// # Examples
+///
+/// ```
+/// use vmin_data::{Dataset, Standardizer};
+/// use vmin_linalg::Matrix;
+///
+/// let x = Matrix::from_rows(&[vec![0.0], vec![10.0]])?;
+/// let train = Dataset::with_default_names(x, vec![0.0, 1.0])?;
+/// let scaler = Standardizer::fit(train.features());
+/// let z = scaler.transform(train.features())?;
+/// assert!((z[(0, 0)] + z[(1, 0)]).abs() < 1e-12); // centered
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    scales: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits per-column statistics.
+    pub fn fit(x: &Matrix) -> Self {
+        let n = x.rows().max(1) as f64;
+        let mut means = vec![0.0; x.cols()];
+        let mut scales = vec![0.0; x.cols()];
+        for j in 0..x.cols() {
+            let mut s = 0.0;
+            for i in 0..x.rows() {
+                s += x[(i, j)];
+            }
+            means[j] = s / n;
+        }
+        for j in 0..x.cols() {
+            let mut ss = 0.0;
+            for i in 0..x.rows() {
+                let d = x[(i, j)] - means[j];
+                ss += d * d;
+            }
+            let var = if x.rows() > 1 {
+                ss / (x.rows() - 1) as f64
+            } else {
+                0.0
+            };
+            scales[j] = if var > 1e-24 { var.sqrt() } else { 1.0 };
+        }
+        Standardizer { means, scales }
+    }
+
+    /// Number of columns the scaler was fit on.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Applies `(x - mean) / scale` column-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ShapeMismatch`] when the column count differs
+    /// from the fit.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix, DatasetError> {
+        if x.cols() != self.means.len() {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "scaler fit on {} columns, input has {}",
+                self.means.len(),
+                x.cols()
+            )));
+        }
+        let mut out = x.clone();
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                out[(i, j)] = (x[(i, j)] - self.means[j]) / self.scales[j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the transform to a single feature row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ShapeMismatch`] on length mismatch.
+    pub fn transform_row(&self, row: &[f64]) -> Result<Vec<f64>, DatasetError> {
+        if row.len() != self.means.len() {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "scaler fit on {} columns, row has {}",
+                self.means.len(),
+                row.len()
+            )));
+        }
+        Ok(row
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v - self.means[j]) / self.scales[j])
+            .collect())
+    }
+
+    /// Inverts the transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ShapeMismatch`] when the column count differs.
+    pub fn inverse_transform(&self, z: &Matrix) -> Result<Matrix, DatasetError> {
+        if z.cols() != self.means.len() {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "scaler fit on {} columns, input has {}",
+                self.means.len(),
+                z.cols()
+            )));
+        }
+        let mut out = z.clone();
+        for i in 0..z.rows() {
+            for j in 0..z.cols() {
+                out[(i, j)] = z[(i, j)] * self.scales[j] + self.means[j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: standardize a dataset's features, keeping targets/names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DatasetError::ShapeMismatch`] from [`Self::transform`].
+    pub fn transform_dataset(&self, ds: &Dataset) -> Result<Dataset, DatasetError> {
+        let z = self.transform(ds.features())?;
+        Dataset::new(z, ds.targets().to_vec(), ds.names().to_vec())
+    }
+}
+
+/// Target scaler: centers and scales the target vector (used by the neural
+/// network, which trains far better on standardized targets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetScaler {
+    mean: f64,
+    scale: f64,
+}
+
+impl TargetScaler {
+    /// Fits on a target vector.
+    pub fn fit(y: &[f64]) -> Self {
+        let mean = vmin_linalg::mean(y);
+        let sd = vmin_linalg::std_dev(y);
+        TargetScaler {
+            mean,
+            scale: if sd > 1e-12 { sd } else { 1.0 },
+        }
+    }
+
+    /// `(y - mean) / scale`.
+    pub fn transform(&self, y: &[f64]) -> Vec<f64> {
+        y.iter().map(|v| (v - self.mean) / self.scale).collect()
+    }
+
+    /// `z * scale + mean`.
+    pub fn inverse(&self, z: &[f64]) -> Vec<f64> {
+        z.iter().map(|v| v * self.scale + self.mean).collect()
+    }
+
+    /// Inverse on a single value.
+    pub fn inverse_one(&self, z: f64) -> f64 {
+        z * self.scale + self.mean
+    }
+
+    /// The fitted standard deviation (scale).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 100.0, 5.0],
+            vec![2.0, 200.0, 5.0],
+            vec![3.0, 300.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn transform_centers_and_scales() {
+        let s = Standardizer::fit(&x());
+        let z = s.transform(&x()).unwrap();
+        for j in 0..2 {
+            let col: Vec<f64> = (0..3).map(|i| z[(i, j)]).collect();
+            assert!(vmin_linalg::mean(&col).abs() < 1e-12);
+            assert!((vmin_linalg::std_dev(&col) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_is_centered_not_scaled() {
+        let s = Standardizer::fit(&x());
+        let z = s.transform(&x()).unwrap();
+        for i in 0..3 {
+            assert_eq!(z[(i, 2)], 0.0);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let s = Standardizer::fit(&x());
+        let z = s.transform(&x()).unwrap();
+        let back = s.inverse_transform(&z).unwrap();
+        assert!((&back - &x()).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let s = Standardizer::fit(&x());
+        let wrong = Matrix::zeros(2, 2);
+        assert!(s.transform(&wrong).is_err());
+        assert!(s.inverse_transform(&wrong).is_err());
+        assert!(s.transform_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transform_row_matches_matrix_path() {
+        let s = Standardizer::fit(&x());
+        let z = s.transform(&x()).unwrap();
+        let r = s.transform_row(x().row(1)).unwrap();
+        for j in 0..3 {
+            assert!((r[j] - z[(1, j)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn applies_train_stats_to_test_data() {
+        // Fitting on train and transforming different data must use train
+        // statistics, not refit.
+        let s = Standardizer::fit(&x());
+        let test = Matrix::from_rows(&[vec![4.0, 400.0, 5.0]]).unwrap();
+        let z = s.transform(&test).unwrap();
+        assert!((z[(0, 0)] - 2.0).abs() < 1e-12); // (4-2)/1
+    }
+
+    #[test]
+    fn target_scaler_roundtrip() {
+        let y = [500.0, 520.0, 540.0, 560.0];
+        let t = TargetScaler::fit(&y);
+        let z = t.transform(&y);
+        assert!(vmin_linalg::mean(&z).abs() < 1e-12);
+        let back = t.inverse(&z);
+        for (a, b) in y.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!((t.inverse_one(z[0]) - y[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn target_scaler_constant_vector() {
+        let t = TargetScaler::fit(&[5.0, 5.0, 5.0]);
+        assert_eq!(t.scale(), 1.0);
+        assert_eq!(t.transform(&[5.0]), vec![0.0]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for dataset handling, splits, standardization and
+//! metrics.
+
+use proptest::prelude::*;
+use vmin_data::{
+    cfs_select, coverage, mean_interval_length, pinball_loss, r_squared, rmse, train_test_split,
+    Dataset, KFold, Standardizer, TargetScaler,
+};
+use vmin_linalg::Matrix;
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-100.0f64..100.0, rows * cols)
+        .prop_map(move |d| Matrix::from_vec(rows, cols, d).expect("shape"))
+}
+
+proptest! {
+    /// Any train/test split partitions 0..n exactly.
+    #[test]
+    fn split_partitions(n in 2usize..200, frac in 0.05f64..0.95, seed in 0u64..100) {
+        let s = train_test_split(n, frac, seed);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        prop_assert!(!s.train.is_empty() && !s.test.is_empty());
+    }
+
+    /// K-fold test folds are disjoint and exhaustive.
+    #[test]
+    fn kfold_partitions(n in 8usize..150, k in 2usize..6, seed in 0u64..50) {
+        prop_assume!(k <= n);
+        let kf = KFold::new(n, k, seed);
+        let mut seen = vec![false; n];
+        for i in 0..k {
+            for &t in &kf.split(i).test {
+                prop_assert!(!seen[t], "index {t} in two folds");
+                seen[t] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Standardize → inverse-standardize is the identity.
+    #[test]
+    fn standardizer_roundtrip(m in matrix_strategy(8, 4)) {
+        let s = Standardizer::fit(&m);
+        let z = s.transform(&m).unwrap();
+        let back = s.inverse_transform(&z).unwrap();
+        prop_assert!((&back - &m).max_abs() < 1e-9);
+    }
+
+    /// Standardized training columns have |mean| ≈ 0.
+    #[test]
+    fn standardizer_centers(m in matrix_strategy(10, 3)) {
+        let s = Standardizer::fit(&m);
+        let z = s.transform(&m).unwrap();
+        for j in 0..3 {
+            let col = z.col(j);
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    /// Target scaler round-trips.
+    #[test]
+    fn target_scaler_roundtrip(y in proptest::collection::vec(-500.0f64..500.0, 3..40)) {
+        let t = TargetScaler::fit(&y);
+        let back = t.inverse(&t.transform(&y));
+        for (a, b) in y.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    /// R² of the exact predictions is 1; RMSE is 0.
+    #[test]
+    fn perfect_prediction_metrics(y in proptest::collection::vec(-50.0f64..50.0, 2..30)) {
+        prop_assert!((r_squared(&y, &y) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(rmse(&y, &y), 0.0);
+    }
+
+    /// Coverage is in [0, 1] and interval length is non-negative for
+    /// ordered bounds.
+    #[test]
+    fn interval_metric_bounds(
+        y in proptest::collection::vec(-10.0f64..10.0, 1..30),
+        half in 0.0f64..5.0,
+    ) {
+        let lo: Vec<f64> = y.iter().map(|v| v - half).collect();
+        let hi: Vec<f64> = y.iter().map(|v| v + half).collect();
+        let c = coverage(&y, &lo, &hi);
+        prop_assert_eq!(c, 1.0); // always centered
+        prop_assert!((mean_interval_length(&lo, &hi) - 2.0 * half).abs() < 1e-9);
+    }
+
+    /// Pinball loss is non-negative and zero only at exact prediction.
+    #[test]
+    fn pinball_nonnegative(
+        y in -10.0f64..10.0,
+        p in -10.0f64..10.0,
+        q in 0.05f64..0.95,
+    ) {
+        let l = pinball_loss(&[y], &[p], q);
+        prop_assert!(l >= 0.0);
+        if (y - p).abs() > 1e-12 {
+            prop_assert!(l > 0.0);
+        }
+    }
+
+    /// Dataset row subsetting preserves feature/target alignment.
+    #[test]
+    fn subset_alignment(m in matrix_strategy(12, 3), pick in proptest::collection::vec(0usize..12, 1..12)) {
+        let y: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let ds = Dataset::with_default_names(m.clone(), y).unwrap();
+        let sub = ds.subset_rows(&pick).unwrap();
+        for (out_i, &src) in pick.iter().enumerate() {
+            prop_assert_eq!(sub.targets()[out_i], src as f64);
+            prop_assert_eq!(sub.sample(out_i), m.row(src));
+        }
+    }
+
+    /// CFS always returns at least one in-range feature.
+    #[test]
+    fn cfs_returns_valid_indices(m in matrix_strategy(20, 6)) {
+        let y: Vec<f64> = (0..20).map(|i| m[(i, 0)] * 2.0 + 1.0).collect();
+        let sel = cfs_select(&m, &y, 4, 6);
+        prop_assert!(!sel.selected.is_empty());
+        prop_assert!(sel.selected.iter().all(|&j| j < 6));
+        // No duplicates.
+        let mut s = sel.selected.clone();
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), sel.selected.len());
+    }
+}

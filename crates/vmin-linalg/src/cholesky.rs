@@ -1,0 +1,256 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used by ridge regression (normal equations) and exact Gaussian-process
+//! inference (kernel matrix solves and log-determinants).
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// # Examples
+///
+/// ```
+/// use vmin_linalg::{Cholesky, Matrix};
+///
+/// let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]])?;
+/// let chol = Cholesky::factor(&a)?;
+/// let x = chol.solve(&[8.0, 7.0])?;
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// # Ok::<(), vmin_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry is assumed, not
+    /// checked.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::InvalidArgument`] if `a` is not square or is empty.
+    /// - [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive
+    ///   within tolerance.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() || a.rows() == 0 {
+            return Err(LinalgError::InvalidArgument(
+                "cholesky requires a non-empty square matrix".into(),
+            ));
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension `n` of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow of the lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` using the factorization (forward then back
+    /// substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "solve: factor is {n}x{n} but rhs has length {}",
+                b.len()
+            )));
+        }
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Back: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "solve_matrix: factor is {0}x{0} but rhs has {1} rows",
+                self.dim(),
+                b.rows()
+            )));
+        }
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..b.rows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves the triangular system `L y = b` only (forward substitution).
+    ///
+    /// Useful for GP predictive variance: `vᵀv` where `L v = k*`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.len() != self.dim()`.
+    pub fn forward_solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "forward_solve: factor is {n}x{n} but rhs has length {}",
+                b.len()
+            )));
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for a fixed B, guaranteed SPD.
+        Matrix::from_rows(&[
+            vec![6.0, 3.0, 2.0],
+            vec![3.0, 7.0, 1.0],
+            vec![2.0, 1.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let back = c.l().matmul(&c.l().transpose()).unwrap();
+        assert!((&back - &a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_residual() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = c.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for i in 0..3 {
+            assert!((ax[i] - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_identity_gives_inverse() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let inv = c.solve_matrix(&Matrix::identity(3)).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!((&prod - &Matrix::identity(3)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_solve_is_triangular_solve() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let y = c.forward_solve(&b).unwrap();
+        let ly = c.l().matvec(&y).unwrap();
+        for i in 0..3 {
+            assert!((ly[i] - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_known() {
+        // det of diag(4, 9) = 36.
+        let a = Matrix::from_rows(&[vec![4.0, 0.0], vec![0.0, 9.0]]).unwrap();
+        let c = Cholesky::factor(&a).unwrap();
+        assert!((c.log_det() - 36.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Cholesky::factor(&a).is_err());
+        let e = Matrix::zeros(0, 0);
+        assert!(Cholesky::factor(&e).is_err());
+    }
+
+    #[test]
+    fn solve_shape_errors() {
+        let c = Cholesky::factor(&spd3()).unwrap();
+        assert!(c.solve(&[1.0]).is_err());
+        assert!(c.forward_solve(&[1.0]).is_err());
+        assert!(c.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+}

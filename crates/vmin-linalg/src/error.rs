@@ -1,0 +1,75 @@
+//! Error types for linear-algebra operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by linear-algebra routines in this crate.
+///
+/// Every fallible public function in [`crate`] returns this type so that
+/// callers can handle numerical failure (e.g. a matrix that is not positive
+/// definite) without panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// Carries a human-readable description of the mismatch, e.g.
+    /// `"matmul: lhs is 3x4 but rhs is 5x2"`.
+    ShapeMismatch(String),
+    /// A factorization failed because the matrix is singular or not positive
+    /// definite (within numerical tolerance).
+    NotPositiveDefinite {
+        /// Index of the pivot where the factorization broke down.
+        pivot: usize,
+    },
+    /// A solve was attempted against a (numerically) singular system.
+    Singular {
+        /// Index of the offending pivot/diagonal entry.
+        pivot: usize,
+    },
+    /// An argument was outside its legal domain (e.g. an empty matrix where a
+    /// non-empty one is required, or a probability outside `[0, 1]`).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is numerically singular (pivot {pivot})")
+            }
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = LinalgError::ShapeMismatch("lhs 2x2 rhs 3x3".into());
+        assert_eq!(e.to_string(), "shape mismatch: lhs 2x2 rhs 3x3");
+        let e = LinalgError::NotPositiveDefinite { pivot: 4 };
+        assert!(e.to_string().contains("pivot 4"));
+        let e = LinalgError::Singular { pivot: 0 };
+        assert!(e.to_string().contains("singular"));
+        let e = LinalgError::InvalidArgument("alpha out of range".into());
+        assert!(e.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,49 @@
+//! # vmin-linalg
+//!
+//! Dense linear-algebra substrate for the `cqr-vmin` workspace.
+//!
+//! The Vmin interval-prediction models (crate `vmin-models`) need only a small
+//! set of numerically careful kernels on a few hundred rows, so this crate
+//! hand-rolls them instead of pulling a heavyweight dependency:
+//!
+//! - [`Matrix`]: dense row-major `f64` matrix with products, Gram matrices,
+//!   row/column selection and concatenation.
+//! - [`Cholesky`]: SPD factorization used for ridge regression and exact
+//!   Gaussian-process inference (solves + log-determinants).
+//! - [`Qr`] / [`lstsq`] / [`ridge`]: Householder least squares, robust to the
+//!   near-collinear parametric-test features of the paper's dataset.
+//! - [`quantile`] / [`quantile_higher`] / [`pearson`] /
+//!   [`normal_inverse_cdf`]: the order statistics and distribution helpers
+//!   conformal prediction and GP intervals are built on.
+//!
+//! ## Example
+//!
+//! ```
+//! use vmin_linalg::{lstsq, Matrix};
+//!
+//! // Fit y = 3x − 1 from noise-free observations.
+//! let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]])?;
+//! let beta = lstsq(&x, &[-1.0, 2.0, 5.0])?;
+//! assert!((beta[1] - 3.0).abs() < 1e-10);
+//! # Ok::<(), vmin_linalg::LinalgError>(())
+//! ```
+
+#![warn(missing_docs)]
+// Indexed loops are kept where they mirror the underlying matrix math.
+#![allow(clippy::needless_range_loop)]
+
+mod cholesky;
+mod error;
+mod matrix;
+mod qr;
+mod stats;
+mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::{LinalgError, Result};
+pub use matrix::Matrix;
+pub use qr::{lstsq, ridge, Qr};
+pub use stats::{
+    normal_cdf, normal_inverse_cdf, pearson, quantile, quantile_higher, quantile_sorted,
+};
+pub use vector::{argmax, argmin, axpy, dot, max, mean, min, norm2, std_dev, sub, variance};

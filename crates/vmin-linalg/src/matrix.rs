@@ -1,0 +1,549 @@
+//! A small dense, row-major, `f64` matrix.
+//!
+//! This is intentionally minimal: the workspace only needs the handful of
+//! operations required by ordinary least squares, ridge regression and exact
+//! Gaussian-process inference on datasets of a few hundred rows.
+
+use crate::error::{LinalgError, Result};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use vmin_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c[(1, 0)], 3.0);
+/// # Ok::<(), vmin_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of equally-long rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if rows have differing lengths
+    /// and [`LinalgError::InvalidArgument`] if `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::InvalidArgument(
+                "from_rows requires at least one row".into(),
+            ));
+        }
+        let cols = rows[0].len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::ShapeMismatch(format!(
+                    "row 0 has {cols} columns but row {i} has {}",
+                    r.len()
+                )));
+            }
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "buffer of length {} cannot form a {rows}x{cols} matrix",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` copied into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "matmul: lhs is {}x{} but rhs is {}x{}",
+                self.rows, self.cols, rhs.rows, rhs.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let lhs_row = i * rhs.cols;
+                let rhs_row = k * rhs.cols;
+                for j in 0..rhs.cols {
+                    out.data[lhs_row + j] += a * rhs.data[rhs_row + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "matvec: matrix has {} columns but vector has length {}",
+                self.cols,
+                v.len()
+            )));
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for j in 0..self.cols {
+                acc += row[j] * v[j];
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `selfᵀ * self` (always square `cols x cols`), computed
+    /// symmetrically.
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for a in 0..self.cols {
+                let ra = row[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..self.cols {
+                    g.data[a * self.cols + b] += ra * row[b];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for a in 0..self.cols {
+            for b in (a + 1)..self.cols {
+                g.data[b * self.cols + a] = g.data[a * self.cols + b];
+            }
+        }
+        g
+    }
+
+    /// Adds `lambda` to every diagonal entry in place (Tikhonov / jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        assert!(self.is_square(), "add_diagonal requires a square matrix");
+        for i in 0..self.rows {
+            self.data[i * self.cols + i] += lambda;
+        }
+    }
+
+    /// Returns a new matrix with only the selected columns, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if any index is out of range.
+    pub fn select_columns(&self, idx: &[usize]) -> Result<Matrix> {
+        for &j in idx {
+            if j >= self.cols {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "column index {j} out of range for matrix with {} columns",
+                    self.cols
+                )));
+            }
+        }
+        let mut out = Matrix::zeros(self.rows, idx.len());
+        for i in 0..self.rows {
+            for (jj, &j) in idx.iter().enumerate() {
+                out[(i, jj)] = self[(i, j)];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns a new matrix with only the selected rows, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if any index is out of range.
+    pub fn select_rows(&self, idx: &[usize]) -> Result<Matrix> {
+        for &i in idx {
+            if i >= self.rows {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "row index {i} out of range for matrix with {} rows",
+                    self.rows
+                )));
+            }
+        }
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (ii, &i) in idx.iter().enumerate() {
+            out.row_mut(ii).copy_from_slice(self.row(i));
+        }
+        Ok(out)
+    }
+
+    /// Horizontally concatenates `self` and `rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the row counts differ.
+    pub fn hconcat(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "hconcat: {} rows vs {} rows",
+                self.rows, rhs.rows
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(rhs.row(i));
+        }
+        Ok(out)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry (∞-norm of the flattened matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Consumes the matrix, returning the row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            let row: Vec<String> = self.row(i).iter().map(|x| format!("{x:10.4}")).collect();
+            writeln!(f, "[{}]", row.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn shape_and_indexing() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert!(!m.is_square());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(matches!(
+            Matrix::from_rows(&[]),
+            Err(LinalgError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = sample();
+        let i3 = Matrix::identity(3);
+        assert_eq!(m.matmul(&i3).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = sample();
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let m = sample();
+        let v = m.matvec(&[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(v, vec![-2.0, -2.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gram_matches_explicit_transpose_product() {
+        let m = sample();
+        let g = m.gram();
+        let expected = m.transpose().matmul(&m).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g[(i, j)] - expected[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn add_diagonal_jitters() {
+        let mut g = sample().gram();
+        let before = g[(1, 1)];
+        g.add_diagonal(0.5);
+        assert_eq!(g[(1, 1)], before + 0.5);
+        assert_eq!(g[(0, 1)], sample().gram()[(0, 1)]);
+    }
+
+    #[test]
+    fn select_columns_and_rows() {
+        let m = sample();
+        let c = m.select_columns(&[2, 0]).unwrap();
+        assert_eq!(c.row(0), &[3.0, 1.0]);
+        let r = m.select_rows(&[1]).unwrap();
+        assert_eq!(r.row(0), &[4.0, 5.0, 6.0]);
+        assert!(m.select_columns(&[9]).is_err());
+        assert!(m.select_rows(&[9]).is_err());
+    }
+
+    #[test]
+    fn hconcat_widths_add() {
+        let m = sample();
+        let h = m.hconcat(&m).unwrap();
+        assert_eq!(h.shape(), (2, 6));
+        assert_eq!(h.row(0), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        let tall = Matrix::zeros(3, 1);
+        assert!(m.hconcat(&tall).is_err());
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let m = sample();
+        let z = &m - &m;
+        assert_eq!(z.frobenius_norm(), 0.0);
+        let d = &(&m + &m) - &(&m * 2.0);
+        assert!(d.max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let s = format!("{}", sample());
+        assert!(s.contains("1.0000"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Householder QR factorization and least-squares solving.
+//!
+//! Ordinary least squares on tall matrices is solved through QR rather than
+//! the normal equations for numerical robustness with nearly-collinear
+//! parametric-test features.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Householder QR factorization of an `m x n` matrix with `m >= n`.
+///
+/// Stores the Householder vectors (packed in the lower trapezoid) and the
+/// upper-triangular factor `R`, which is enough to apply `Qᵀ` to right-hand
+/// sides and solve least-squares problems.
+///
+/// # Examples
+///
+/// ```
+/// use vmin_linalg::{Matrix, Qr};
+///
+/// // Overdetermined system: best fit of y = 2x + 1 through 3 points.
+/// let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]])?;
+/// let qr = Qr::factor(&a)?;
+/// let beta = qr.solve_least_squares(&[1.0, 3.0, 5.0])?;
+/// assert!((beta[0] - 1.0).abs() < 1e-10);
+/// assert!((beta[1] - 2.0).abs() < 1e-10);
+/// # Ok::<(), vmin_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factorization: Householder vectors below the diagonal,
+    /// `R` on and above it.
+    packed: Matrix,
+    /// Scalar `tau_k` for each reflector.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors `a` (shape `m x n`, `m >= n`) as `Q R`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `m < n` or `a` is empty.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::InvalidArgument("qr of empty matrix".into()));
+        }
+        if m < n {
+            return Err(LinalgError::InvalidArgument(format!(
+                "qr requires rows >= cols, got {m}x{n}"
+            )));
+        }
+        let mut r = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector for column k below the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += r[(i, k)] * r[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = r[(k, k)] - alpha;
+            // Normalize so that v[k] = 1 implicitly; store v[i]/v0 below diag.
+            let mut vnorm2 = 1.0;
+            for i in (k + 1)..m {
+                let v = r[(i, k)] / v0;
+                r[(i, k)] = v;
+                vnorm2 += v * v;
+            }
+            tau[k] = 2.0 / vnorm2;
+            r[(k, k)] = alpha;
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut s = r[(k, j)];
+                for i in (k + 1)..m {
+                    s += r[(i, k)] * r[(i, j)];
+                }
+                s *= tau[k];
+                r[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = r[(i, k)];
+                    r[(i, j)] -= s * vik;
+                }
+            }
+        }
+        Ok(Qr { packed: r, tau })
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`.
+    fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = self.packed.shape();
+        let mut y = b.to_vec();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.packed[(i, k)] * y[i];
+            }
+            s *= self.tau[k];
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.packed[(i, k)];
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ||a x - b||₂`.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::ShapeMismatch`] when `b.len() != m`.
+    /// - [`LinalgError::Singular`] when `R` has a (near-)zero diagonal entry,
+    ///   i.e. the columns of `a` are linearly dependent.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.packed.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "solve_least_squares: matrix has {m} rows but rhs has length {}",
+                b.len()
+            )));
+        }
+        let y = self.apply_qt(b);
+        // Back-substitute R x = y[..n].
+        let mut x = vec![0.0; n];
+        let scale = self.packed.max_abs().max(1.0);
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            let d = self.packed[(i, i)];
+            if d.abs() < 1e-12 * scale {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Borrow of the packed factorization (R above diagonal, reflectors
+    /// below). Primarily for diagnostics and tests.
+    pub fn packed(&self) -> &Matrix {
+        &self.packed
+    }
+}
+
+/// Convenience one-shot least-squares solve: `argmin_x ||a x - b||₂`.
+///
+/// # Errors
+///
+/// Propagates factorization/solve failures from [`Qr`].
+///
+/// # Examples
+///
+/// ```
+/// use vmin_linalg::{lstsq, Matrix};
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]])?;
+/// let x = lstsq(&a, &[1.0, 1.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// # Ok::<(), vmin_linalg::LinalgError>(())
+/// ```
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::factor(a)?.solve_least_squares(b)
+}
+
+/// Ridge regression solve: `argmin_x ||a x - b||² + lambda ||x||²` via the
+/// (jittered) normal equations and Cholesky.
+///
+/// With `lambda = 0` this reduces to ordinary least squares and may fail for
+/// rank-deficient `a`; use a small positive `lambda` for collinear features.
+///
+/// # Errors
+///
+/// - [`LinalgError::InvalidArgument`] when `lambda < 0`.
+/// - [`LinalgError::ShapeMismatch`] when `b.len() != a.rows()`.
+/// - Factorization errors when the regularized Gram matrix is not positive
+///   definite.
+pub fn ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if lambda < 0.0 {
+        return Err(LinalgError::InvalidArgument(format!(
+            "ridge lambda must be non-negative, got {lambda}"
+        )));
+    }
+    if b.len() != a.rows() {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "ridge: matrix has {} rows but rhs has length {}",
+            a.rows(),
+            b.len()
+        )));
+    }
+    let mut g = a.gram();
+    g.add_diagonal(lambda);
+    let aty = a.transpose().matvec(b)?;
+    crate::cholesky::Cholesky::factor(&g)?.solve(&aty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_solves_square_system_exactly() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = lstsq(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_least_squares_matches_normal_equations() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.5],
+            vec![1.0, 1.5],
+            vec![1.0, 2.5],
+            vec![1.0, 3.5],
+        ])
+        .unwrap();
+        let b = [1.1, 1.9, 3.1, 3.9];
+        let x_qr = lstsq(&a, &b).unwrap();
+        let x_ne = ridge(&a, &b, 0.0).unwrap();
+        assert!((x_qr[0] - x_ne[0]).abs() < 1e-9);
+        assert!((x_qr[1] - x_ne[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qr_residual_is_orthogonal_to_columns() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, -1.0],
+            vec![0.5, 0.5],
+        ])
+        .unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = lstsq(&a, &b).unwrap();
+        let pred = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = b.iter().zip(&pred).map(|(bi, pi)| bi - pi).collect();
+        // aᵀ r ≈ 0
+        let atr = a.transpose().matvec(&resid).unwrap();
+        for v in atr {
+            assert!(v.abs() < 1e-10, "normal equations violated: {v}");
+        }
+    }
+
+    #[test]
+    fn qr_rejects_wide_matrices() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Qr::factor(&a).is_err());
+    }
+
+    #[test]
+    fn qr_detects_rank_deficiency() {
+        // Second column is 2x the first.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ])
+        .unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]).unwrap();
+        let b = [3.0, 3.0, 3.0];
+        let x0 = ridge(&a, &b, 0.0).unwrap();
+        let x1 = ridge(&a, &b, 3.0).unwrap();
+        assert!((x0[0] - 3.0).abs() < 1e-12);
+        // (aᵀa + λ) x = aᵀ b → (3 + 3) x = 9 → x = 1.5
+        assert!((x1[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_handles_collinearity() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ])
+        .unwrap();
+        let x = ridge(&a, &[1.0, 2.0, 3.0], 1e-6).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn ridge_validates_arguments() {
+        let a = Matrix::zeros(2, 1);
+        assert!(ridge(&a, &[0.0, 0.0], -1.0).is_err());
+        assert!(ridge(&a, &[0.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn qr_handles_zero_column_gracefully() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 2.0], vec![0.0, 3.0]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

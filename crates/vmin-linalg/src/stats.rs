@@ -1,0 +1,281 @@
+//! Order statistics, quantiles and distribution helpers.
+
+use crate::error::{LinalgError, Result};
+
+/// Empirical quantile at probability `p` using linear interpolation between
+/// order statistics (the "type 7" definition used by NumPy's default).
+///
+/// # Errors
+///
+/// - [`LinalgError::InvalidArgument`] if `data` is empty or `p ∉ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// let q = vmin_linalg::quantile(&[1.0, 2.0, 3.0, 4.0], 0.5)?;
+/// assert_eq!(q, 2.5);
+/// # Ok::<(), vmin_linalg::LinalgError>(())
+/// ```
+pub fn quantile(data: &[f64], p: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(LinalgError::InvalidArgument(
+            "quantile of empty slice".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(LinalgError::InvalidArgument(format!(
+            "quantile probability must be in [0, 1], got {p}"
+        )));
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Ok(quantile_sorted(&sorted, p))
+}
+
+/// [`quantile`] on data that is already ascending-sorted. No validation.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = p * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Higher (conservative) empirical quantile: the smallest order statistic
+/// `x_(k)` with `k/n >= p`. This is the "type 1"-style quantile conformal
+/// prediction requires: it never interpolates below the target level.
+///
+/// # Errors
+///
+/// Same conditions as [`quantile`].
+pub fn quantile_higher(data: &[f64], p: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(LinalgError::InvalidArgument(
+            "quantile_higher of empty slice".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(LinalgError::InvalidArgument(format!(
+            "quantile probability must be in [0, 1], got {p}"
+        )));
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let n = sorted.len();
+    let k = (p * n as f64).ceil() as usize;
+    let idx = k.max(1).min(n) - 1;
+    Ok(sorted[idx])
+}
+
+/// Pearson product-moment correlation coefficient between two slices.
+///
+/// Returns `0.0` when either slice has zero variance (a convention that keeps
+/// constant features harmless for feature selection).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = crate::vector::mean(a);
+    let mb = crate::vector::mean(b);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Inverse CDF (probit) of the standard normal distribution.
+///
+/// Uses the Acklam rational approximation, accurate to ~1.15e-9 absolute
+/// error — more than enough for constructing Gaussian prediction intervals.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] when `p ∉ (0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// let z = vmin_linalg::normal_inverse_cdf(0.975)?;
+/// assert!((z - 1.959964).abs() < 1e-5);
+/// # Ok::<(), vmin_linalg::LinalgError>(())
+/// ```
+pub fn normal_inverse_cdf(p: f64) -> Result<f64> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(LinalgError::InvalidArgument(format!(
+            "normal_inverse_cdf requires p in (0, 1), got {p}"
+        )));
+    }
+    // Coefficients for the Acklam approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    Ok(x)
+}
+
+/// Standard normal CDF via `erf`-free Abramowitz–Stegun-style approximation
+/// built on the complementary relationship with [`normal_inverse_cdf`]'s
+/// accuracy class (absolute error < 7.5e-8).
+pub fn normal_cdf(x: f64) -> f64 {
+    // Zelen & Severo approximation 26.2.17.
+    let t = 1.0 / (1.0 + 0.2316419 * x.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let pdf = (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let tail = pdf * poly;
+    if x >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let d = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&d, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&d, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&d, 0.5).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn quantile_singleton() {
+        assert_eq!(quantile(&[7.0], 0.3).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn quantile_validates() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+        assert!(quantile(&[1.0], 1.1).is_err());
+        assert!(quantile(&[1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn quantile_higher_is_conservative() {
+        let d = [1.0, 2.0, 3.0, 4.0, 5.0];
+        // p=0.5 over 5 points → ceil(2.5)=3rd order statistic = 3.0
+        assert_eq!(quantile_higher(&d, 0.5).unwrap(), 3.0);
+        // p=0.9 → ceil(4.5)=5th = 5.0
+        assert_eq!(quantile_higher(&d, 0.9).unwrap(), 5.0);
+        // p=0 clamps to first order statistic
+        assert_eq!(quantile_higher(&d, 0.0).unwrap(), 1.0);
+        // The defining guarantee: the empirical CDF at the returned value
+        // reaches at least p.
+        for p in [0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let q = quantile_higher(&d, p).unwrap();
+            let cdf = d.iter().filter(|&&x| x <= q).count() as f64 / d.len() as f64;
+            assert!(cdf >= p, "p={p}: cdf at q={q} is {cdf}");
+        }
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn probit_known_values() {
+        assert!((normal_inverse_cdf(0.5).unwrap()).abs() < 1e-9);
+        assert!((normal_inverse_cdf(0.975).unwrap() - 1.9599639845).abs() < 1e-6);
+        assert!((normal_inverse_cdf(0.025).unwrap() + 1.9599639845).abs() < 1e-6);
+        assert!((normal_inverse_cdf(0.95).unwrap() - 1.6448536270).abs() < 1e-6);
+        assert!(normal_inverse_cdf(0.0).is_err());
+        assert!(normal_inverse_cdf(1.0).is_err());
+    }
+
+    #[test]
+    fn probit_and_cdf_are_inverse() {
+        for p in [0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let z = normal_inverse_cdf(p).unwrap();
+            assert!((normal_cdf(z) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        for x in [0.0, 0.5, 1.0, 2.5] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Free functions on `&[f64]` slices.
+//!
+//! The workspace treats vectors as plain slices; these helpers implement the
+//! handful of BLAS-1 style kernels and reductions the models need.
+
+/// Dot product of two equally-long slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(vmin_linalg::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y ← y + alpha * x` in place.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Element-wise difference `a - b` as a fresh vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Unbiased sample variance (`n - 1` denominator); `0.0` when `n < 2`.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (a.len() - 1) as f64
+}
+
+/// Sample standard deviation (square root of [`variance`]).
+pub fn std_dev(a: &[f64]) -> f64 {
+    variance(a).sqrt()
+}
+
+/// Minimum value; `f64::INFINITY` for an empty slice.
+pub fn min(a: &[f64]) -> f64 {
+    a.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum value; `f64::NEG_INFINITY` for an empty slice.
+pub fn max(a: &[f64]) -> f64 {
+    a.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Index of the smallest element, or `None` for an empty slice.
+/// Ties resolve to the earliest index; NaN entries are skipped.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in a.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv <= x => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the largest element, or `None` for an empty slice.
+/// Ties resolve to the earliest index; NaN entries are skipped.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in a.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= x => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_axpy_norm() {
+        let a = [1.0, 2.0, 2.0];
+        assert_eq!(norm2(&a), 3.0);
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [3.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_variance_known() {
+        let a = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&a), 5.0);
+        // Sum of squared deviations = 32, n-1 = 7.
+        assert!((variance(&a) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&a) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(min(&[]), f64::INFINITY);
+        assert_eq!(max(&[]), f64::NEG_INFINITY);
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argminmax_ties_and_nan() {
+        assert_eq!(argmin(&[3.0, 1.0, 1.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[3.0, 3.0, 1.0]), Some(0));
+        assert_eq!(argmax(&[f64::NAN, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn sub_elementwise() {
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 5.0]), vec![2.0, -3.0]);
+    }
+}

@@ -1,0 +1,278 @@
+//! XGBoost-style gradient boosting on [`GradientTree`] weak learners.
+//!
+//! Defaults mirror the XGBoost Python package the paper uses (§IV-C2):
+//! 100 rounds, learning rate 0.3, depth 6, λ = 1. Supports both squared and
+//! pinball loss, so the same booster serves "XGBoost" point prediction and
+//! "QR XGBoost" quantile regression.
+
+use crate::traits::{validate_training, Loss, ModelError, Regressor, Result};
+use crate::tree::{GradientTree, TreeParams};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vmin_linalg::Matrix;
+
+/// Hyperparameters of the booster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientBoostParams {
+    /// Number of boosting rounds (trees).
+    pub n_rounds: usize,
+    /// Shrinkage η applied to every tree's output.
+    pub learning_rate: f64,
+    /// Per-tree structural parameters.
+    pub tree: TreeParams,
+    /// Row subsampling fraction per round (1.0 = none).
+    pub subsample: f64,
+    /// Seed for subsampling.
+    pub seed: u64,
+}
+
+impl Default for GradientBoostParams {
+    fn default() -> Self {
+        GradientBoostParams {
+            n_rounds: 100,
+            learning_rate: 0.3,
+            tree: TreeParams::default(),
+            subsample: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Gradient-boosted regression trees with a pluggable loss.
+///
+/// # Examples
+///
+/// ```
+/// use vmin_models::{GradientBoost, Loss, Regressor};
+/// use vmin_linalg::Matrix;
+///
+/// let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]])?;
+/// let mut gbt = GradientBoost::new(Loss::Squared);
+/// gbt.fit(&x, &[0.0, 1.0, 4.0, 9.0])?;
+/// assert!((gbt.predict_row(&[3.0])? - 9.0).abs() < 1.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GradientBoost {
+    params: GradientBoostParams,
+    loss: Loss,
+    base_score: f64,
+    trees: Vec<GradientTree>,
+    n_features: usize,
+}
+
+impl GradientBoost {
+    /// Booster with default (XGBoost-like) hyperparameters.
+    pub fn new(loss: Loss) -> Self {
+        Self::with_params(loss, GradientBoostParams::default())
+    }
+
+    /// Booster with explicit hyperparameters.
+    pub fn with_params(loss: Loss, params: GradientBoostParams) -> Self {
+        GradientBoost {
+            params,
+            loss,
+            base_score: 0.0,
+            trees: Vec::new(),
+            n_features: 0,
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The training loss.
+    pub fn loss(&self) -> Loss {
+        self.loss
+    }
+}
+
+impl Regressor for GradientBoost {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        validate_training(x, y)?;
+        self.loss.validate()?;
+        let n = x.rows();
+        self.n_features = x.cols();
+        self.base_score = self.loss.optimal_constant(y);
+        self.trees.clear();
+
+        let mut preds = vec![self.base_score; n];
+        let mut grad = vec![0.0; n];
+        let mut hess = vec![0.0; n];
+        let all_rows: Vec<usize> = (0..n).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed);
+
+        for _ in 0..self.params.n_rounds {
+            for i in 0..n {
+                grad[i] = self.loss.gradient(y[i], preds[i]);
+                hess[i] = self.loss.hessian(y[i], preds[i]);
+            }
+            let rows: Vec<usize> = if self.params.subsample < 1.0 {
+                let take = ((self.params.subsample * n as f64).round() as usize).max(2);
+                let mut shuffled = all_rows.clone();
+                shuffled.shuffle(&mut rng);
+                shuffled.truncate(take);
+                shuffled
+            } else {
+                all_rows.clone()
+            };
+            let tree = GradientTree::fit(x, &grad, &hess, &rows, &self.params.tree);
+            for i in 0..n {
+                preds[i] += self.params.learning_rate * tree.predict_row(x.row(i));
+            }
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> Result<f64> {
+        if self.trees.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        if row.len() != self.n_features {
+            return Err(ModelError::InvalidInput(format!(
+                "model has {} features, row has {}",
+                self.n_features,
+                row.len()
+            )));
+        }
+        let mut p = self.base_score;
+        for tree in &self.trees {
+            p += self.params.learning_rate * tree.predict_row(row);
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn friedman_like(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(0.0..1.0);
+            let b: f64 = rng.gen_range(0.0..1.0);
+            let c: f64 = rng.gen_range(0.0..1.0);
+            rows.push(vec![a, b, c]);
+            y.push(10.0 * (std::f64::consts::PI * a * b).sin() + 5.0 * c
+                + rng.gen_range(-0.2..0.2));
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn fits_nonlinear_functions() {
+        let (x, y) = friedman_like(200, 1);
+        let mut gbt = GradientBoost::new(Loss::Squared);
+        gbt.fit(&x, &y).unwrap();
+        let pred = gbt.predict(&x).unwrap();
+        let m = vmin_linalg::mean(&y);
+        let ss_tot: f64 = y.iter().map(|v| (v - m) * (v - m)).sum();
+        let ss_res: f64 = y.iter().zip(&pred).map(|(a, b)| (a - b) * (a - b)).sum();
+        let r2 = 1.0 - ss_res / ss_tot;
+        assert!(r2 > 0.95, "train R² should be high, got {r2}");
+        assert_eq!(gbt.n_trees(), 100);
+    }
+
+    #[test]
+    fn generalizes_reasonably() {
+        let (x_tr, y_tr) = friedman_like(300, 2);
+        let (x_te, y_te) = friedman_like(100, 3);
+        let mut gbt = GradientBoost::new(Loss::Squared);
+        gbt.fit(&x_tr, &y_tr).unwrap();
+        let pred = gbt.predict(&x_te).unwrap();
+        let m = vmin_linalg::mean(&y_te);
+        let ss_tot: f64 = y_te.iter().map(|v| (v - m) * (v - m)).sum();
+        let ss_res: f64 = y_te.iter().zip(&pred).map(|(a, b)| (a - b) * (a - b)).sum();
+        let r2 = 1.0 - ss_res / ss_tot;
+        assert!(r2 > 0.8, "test R² should be decent, got {r2}");
+    }
+
+    #[test]
+    fn pinball_quantiles_order_correctly() {
+        let (x, y) = friedman_like(200, 4);
+        let mut lo = GradientBoost::new(Loss::Pinball(0.05));
+        let mut hi = GradientBoost::new(Loss::Pinball(0.95));
+        lo.fit(&x, &y).unwrap();
+        hi.fit(&x, &y).unwrap();
+        let lo_p = lo.predict(&x).unwrap();
+        let hi_p = hi.predict(&x).unwrap();
+        let violations = lo_p.iter().zip(&hi_p).filter(|(l, h)| l > h).count();
+        assert!(
+            violations < x.rows() / 10,
+            "quantile crossing on {violations}/{} samples",
+            x.rows()
+        );
+    }
+
+    #[test]
+    fn pinball_coverage_on_training_data() {
+        let (x, y) = friedman_like(300, 5);
+        let mut q90 = GradientBoost::new(Loss::Pinball(0.9));
+        q90.fit(&x, &y).unwrap();
+        let p = q90.predict(&x).unwrap();
+        let below = y.iter().zip(&p).filter(|(yi, pi)| yi <= pi).count() as f64 / y.len() as f64;
+        // Boosted quantile models overfit towards the data; accept a band.
+        assert!(below > 0.8, "≈90% below the 0.9-quantile fit, got {below}");
+    }
+
+    #[test]
+    fn subsample_changes_the_model_but_not_much() {
+        let (x, y) = friedman_like(150, 6);
+        let mut full = GradientBoost::new(Loss::Squared);
+        full.fit(&x, &y).unwrap();
+        let mut sub = GradientBoost::with_params(
+            Loss::Squared,
+            GradientBoostParams {
+                subsample: 0.7,
+                seed: 9,
+                ..GradientBoostParams::default()
+            },
+        );
+        sub.fit(&x, &y).unwrap();
+        let pf = full.predict_row(x.row(0)).unwrap();
+        let ps = sub.predict_row(x.row(0)).unwrap();
+        assert_ne!(pf, ps);
+        assert!((pf - ps).abs() < 5.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = friedman_like(100, 7);
+        let make = || {
+            let mut m = GradientBoost::with_params(
+                Loss::Squared,
+                GradientBoostParams {
+                    subsample: 0.8,
+                    seed: 3,
+                    ..GradientBoostParams::default()
+                },
+            );
+            m.fit(&x, &y).unwrap();
+            m.predict_row(x.row(5)).unwrap()
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn error_paths() {
+        let gbt = GradientBoost::new(Loss::Squared);
+        assert_eq!(gbt.predict_row(&[0.0]).unwrap_err(), ModelError::NotFitted);
+        let (x, y) = friedman_like(50, 8);
+        let mut gbt = GradientBoost::new(Loss::Squared);
+        gbt.fit(&x, &y).unwrap();
+        assert!(matches!(
+            gbt.predict_row(&[0.0]),
+            Err(ModelError::InvalidInput(_))
+        ));
+        let mut bad = GradientBoost::new(Loss::Pinball(2.0));
+        assert!(bad.fit(&x, &y).is_err());
+    }
+}

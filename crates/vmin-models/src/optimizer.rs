@@ -1,0 +1,108 @@
+//! Adam optimizer (Kingma & Ba, 2014) — used by the neural network and the
+//! pinball-loss linear model, matching the paper's training setup.
+
+/// Adam state for a flat parameter vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adam {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Numerical-stability ε.
+    pub epsilon: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer for `n` parameters with the paper's learning
+    /// rate default (0.01) overridable by the caller.
+    pub fn new(n: usize, learning_rate: f64) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
+    }
+
+    /// Applies one bias-corrected Adam update in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` or `grads` differ in length from the state.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "adam: parameter count changed");
+        assert_eq!(grads.len(), self.m.len(), "adam: gradient count mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = (x − 3)², gradient 2(x − 3).
+        let mut x = vec![0.0];
+        let mut adam = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            adam.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "converged to {}", x[0]);
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn minimizes_a_2d_bowl_with_different_curvatures() {
+        // f(x, y) = x² + 100 y²; Adam's per-coordinate scaling handles the
+        // conditioning.
+        let mut p = vec![5.0, 5.0];
+        let mut adam = Adam::new(2, 0.05);
+        for _ in 0..3000 {
+            let g = vec![2.0 * p[0], 200.0 * p[1]];
+            adam.step(&mut p, &g);
+        }
+        assert!(p[0].abs() < 1e-2);
+        assert!(p[1].abs() < 1e-2);
+    }
+
+    #[test]
+    fn first_step_magnitude_is_learning_rate() {
+        // Bias correction makes the first step ≈ lr · sign(gradient).
+        let mut x = vec![0.0];
+        let mut adam = Adam::new(1, 0.01);
+        adam.step(&mut x, &[42.0]);
+        assert!((x[0] + 0.01).abs() < 1e-6, "first step should be −lr, got {}", x[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient count")]
+    fn mismatched_gradients_panic() {
+        let mut adam = Adam::new(2, 0.01);
+        let mut p = vec![0.0, 0.0];
+        adam.step(&mut p, &[1.0]);
+    }
+}

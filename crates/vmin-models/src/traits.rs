@@ -1,0 +1,242 @@
+//! Common model interfaces and error type.
+
+use std::error::Error;
+use std::fmt;
+use vmin_linalg::Matrix;
+
+/// Error produced by model fitting or prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Inputs had inconsistent or empty shapes.
+    InvalidInput(String),
+    /// The model was asked to predict before `fit` succeeded.
+    NotFitted,
+    /// A numerical routine failed (singular system, non-PD kernel, …).
+    Numerical(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            ModelError::NotFitted => write!(f, "model has not been fitted"),
+            ModelError::Numerical(m) => write!(f, "numerical failure: {m}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+impl From<vmin_linalg::LinalgError> for ModelError {
+    fn from(e: vmin_linalg::LinalgError) -> Self {
+        ModelError::Numerical(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// The objective a trainable model minimizes.
+///
+/// Every model in this crate that supports both point and quantile
+/// regression is parameterized by a `Loss`: the paper builds its quantile
+/// regressors by "applying the pinball loss instead" of MSE (§II-B), and
+/// this enum is exactly that switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Loss {
+    /// Mean-squared error — estimates the conditional mean.
+    Squared,
+    /// Pinball loss at quantile `q` (Eq. 5) — estimates the conditional
+    /// `q`-quantile.
+    Pinball(f64),
+}
+
+impl Loss {
+    /// Gradient of the loss with respect to the prediction, `dL/dŷ`.
+    pub fn gradient(&self, y: f64, pred: f64) -> f64 {
+        match *self {
+            Loss::Squared => pred - y,
+            Loss::Pinball(q) => {
+                if y > pred {
+                    -q
+                } else if y < pred {
+                    1.0 - q
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Second derivative (Hessian diagonal). Pinball uses a unit surrogate,
+    /// the standard choice for Newton boosting of non-smooth losses.
+    pub fn hessian(&self, _y: f64, _pred: f64) -> f64 {
+        match *self {
+            Loss::Squared => 1.0,
+            Loss::Pinball(_) => 1.0,
+        }
+    }
+
+    /// Loss value.
+    pub fn value(&self, y: f64, pred: f64) -> f64 {
+        match *self {
+            Loss::Squared => 0.5 * (y - pred) * (y - pred),
+            Loss::Pinball(q) => {
+                let d = y - pred;
+                (q * d).max((q - 1.0) * d)
+            }
+        }
+    }
+
+    /// The optimal constant prediction for this loss on `y` (mean for
+    /// squared loss, empirical quantile for pinball).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is empty.
+    pub fn optimal_constant(&self, y: &[f64]) -> f64 {
+        assert!(!y.is_empty(), "optimal_constant of empty targets");
+        match *self {
+            Loss::Squared => vmin_linalg::mean(y),
+            Loss::Pinball(q) => vmin_linalg::quantile(y, q.clamp(0.0, 1.0))
+                .expect("non-empty targets and clamped q"),
+        }
+    }
+
+    /// Validates a pinball quantile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] for `Pinball(q)` with
+    /// `q ∉ (0, 1)`.
+    pub fn validate(&self) -> Result<()> {
+        if let Loss::Pinball(q) = *self {
+            if !(q > 0.0 && q < 1.0) {
+                return Err(ModelError::InvalidInput(format!(
+                    "pinball quantile must be in (0, 1), got {q}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A trainable regression model mapping feature rows to scalar predictions.
+///
+/// Implementors: [`crate::LinearRegression`], [`crate::QuantileLinear`],
+/// [`crate::GaussianProcess`], [`crate::GradientBoost`],
+/// [`crate::ObliviousBoost`], [`crate::NeuralNet`].
+pub trait Regressor: fmt::Debug {
+    /// Fits the model on `x` (n × d) and targets `y` (length n).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] on shape problems and
+    /// [`ModelError::Numerical`] when the underlying solver fails.
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()>;
+
+    /// Predicts one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotFitted`] before a successful `fit` and
+    /// [`ModelError::InvalidInput`] on dimension mismatch.
+    fn predict_row(&self, row: &[f64]) -> Result<f64>;
+
+    /// Predicts every row of `x`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Regressor::predict_row`].
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+}
+
+impl Regressor for Box<dyn Regressor> {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        (**self).fit(x, y)
+    }
+
+    fn predict_row(&self, row: &[f64]) -> Result<f64> {
+        (**self).predict_row(row)
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        (**self).predict(x)
+    }
+}
+
+/// Validates that `x` and `y` form a non-empty training set.
+pub(crate) fn validate_training(x: &Matrix, y: &[f64]) -> Result<()> {
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(ModelError::InvalidInput(format!(
+            "empty training matrix ({}x{})",
+            x.rows(),
+            x.cols()
+        )));
+    }
+    if x.rows() != y.len() {
+        return Err(ModelError::InvalidInput(format!(
+            "{} rows vs {} targets",
+            x.rows(),
+            y.len()
+        )));
+    }
+    if y.iter().any(|v| !v.is_finite()) {
+        return Err(ModelError::InvalidInput("non-finite target".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_gradient_is_residual() {
+        let l = Loss::Squared;
+        assert_eq!(l.gradient(3.0, 5.0), 2.0);
+        assert_eq!(l.hessian(3.0, 5.0), 1.0);
+        assert_eq!(l.value(3.0, 5.0), 2.0);
+    }
+
+    #[test]
+    fn pinball_gradient_switches_sign_at_target() {
+        let l = Loss::Pinball(0.9);
+        assert_eq!(l.gradient(1.0, 0.0), -0.9); // under-prediction
+        assert!((l.gradient(0.0, 1.0) - 0.1).abs() < 1e-12); // over-prediction
+        assert_eq!(l.gradient(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn optimal_constants() {
+        let y = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(Loss::Squared.optimal_constant(&y), 22.0);
+        let med = Loss::Pinball(0.5).optimal_constant(&y);
+        assert_eq!(med, 3.0);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_quantiles() {
+        assert!(Loss::Pinball(0.0).validate().is_err());
+        assert!(Loss::Pinball(1.0).validate().is_err());
+        assert!(Loss::Pinball(0.5).validate().is_ok());
+        assert!(Loss::Squared.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_training_catches_problems() {
+        let x = Matrix::zeros(3, 2);
+        assert!(validate_training(&x, &[1.0, 2.0, 3.0]).is_ok());
+        assert!(validate_training(&x, &[1.0]).is_err());
+        assert!(validate_training(&Matrix::zeros(0, 2), &[]).is_err());
+        assert!(validate_training(&x, &[1.0, f64::NAN, 3.0]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ModelError::NotFitted.to_string().contains("not been fitted"));
+        assert!(ModelError::InvalidInput("x".into()).to_string().contains("x"));
+    }
+}

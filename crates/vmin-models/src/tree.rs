@@ -1,0 +1,322 @@
+//! Regression trees trained on per-sample gradients/Hessians — the shared
+//! weak learner of the XGBoost-style booster.
+//!
+//! Splits are found by exact greedy search: at each node, every feature's
+//! values are sorted and every boundary between distinct values is scored by
+//! the standard second-order gain
+//!
+//! ```text
+//! gain = ½ [ G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ) ] − γ
+//! ```
+//!
+//! and the leaf weight is the Newton step `w = −G/(H+λ)`.
+
+use vmin_linalg::Matrix;
+
+/// Regularization and shape limits for a single tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum sum of Hessians on each side of a split.
+    pub min_child_weight: f64,
+    /// L2 regularization λ on leaf weights.
+    pub lambda: f64,
+    /// Minimum gain γ required to keep a split.
+    pub gamma: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        // XGBoost defaults.
+        TreeParams {
+            max_depth: 6,
+            min_child_weight: 1.0,
+            lambda: 1.0,
+            gamma: 0.0,
+        }
+    }
+}
+
+/// One node of a flattened tree.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        weight: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted gradient tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientTree {
+    nodes: Vec<Node>,
+}
+
+impl GradientTree {
+    /// Fits a tree to gradients `grad` and Hessians `hess` over the sample
+    /// subset `rows` of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad`/`hess` lengths differ from `x.rows()` or `rows` is
+    /// empty.
+    pub fn fit(x: &Matrix, grad: &[f64], hess: &[f64], rows: &[usize], params: &TreeParams) -> Self {
+        assert_eq!(x.rows(), grad.len(), "tree: grad length mismatch");
+        assert_eq!(x.rows(), hess.len(), "tree: hess length mismatch");
+        assert!(!rows.is_empty(), "tree: empty sample subset");
+        let mut nodes = Vec::new();
+        build(x, grad, hess, rows, params, 0, &mut nodes);
+        GradientTree { nodes }
+    }
+
+    /// Predicted weight for a feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { weight } => return *weight,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Maximum depth actually realized.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+}
+
+/// Recursively grows the tree; returns the new node's index.
+fn build(
+    x: &Matrix,
+    grad: &[f64],
+    hess: &[f64],
+    rows: &[usize],
+    params: &TreeParams,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let g_sum: f64 = rows.iter().map(|&i| grad[i]).sum();
+    let h_sum: f64 = rows.iter().map(|&i| hess[i]).sum();
+    let make_leaf = |nodes: &mut Vec<Node>| {
+        let weight = -g_sum / (h_sum + params.lambda);
+        nodes.push(Node::Leaf { weight });
+        nodes.len() - 1
+    };
+
+    if depth >= params.max_depth || rows.len() < 2 {
+        return make_leaf(nodes);
+    }
+
+    // Exact greedy split search.
+    let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    let mut sorted: Vec<usize> = Vec::with_capacity(rows.len());
+    for feature in 0..x.cols() {
+        sorted.clear();
+        sorted.extend_from_slice(rows);
+        sorted.sort_by(|&a, &b| {
+            x[(a, feature)]
+                .partial_cmp(&x[(b, feature)])
+                .expect("finite features")
+        });
+        let mut gl = 0.0;
+        let mut hl = 0.0;
+        for w in 0..sorted.len() - 1 {
+            let i = sorted[w];
+            gl += grad[i];
+            hl += hess[i];
+            let v = x[(i, feature)];
+            let v_next = x[(sorted[w + 1], feature)];
+            if v_next <= v {
+                continue; // no boundary between identical values
+            }
+            let gr = g_sum - gl;
+            let hr = h_sum - hl;
+            if hl < params.min_child_weight || hr < params.min_child_weight {
+                continue;
+            }
+            let gain = 0.5
+                * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - parent_score)
+                - params.gamma;
+            if gain > best.map_or(0.0, |(g, _, _)| g) {
+                best = Some((gain, feature, 0.5 * (v + v_next)));
+            }
+        }
+    }
+
+    match best {
+        None => make_leaf(nodes),
+        Some((_, feature, threshold)) => {
+            let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                rows.iter().partition(|&&i| x[(i, feature)] < threshold);
+            // Reserve this node's slot, then build children.
+            let my_idx = nodes.len();
+            nodes.push(Node::Leaf { weight: 0.0 }); // placeholder
+            let left = build(x, grad, hess, &left_rows, params, depth + 1, nodes);
+            let right = build(x, grad, hess, &right_rows, params, depth + 1, nodes);
+            nodes[my_idx] = Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            };
+            my_idx
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Squared-loss gradients for current prediction 0: g = −y, h = 1.
+    fn grads_for(y: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        (y.iter().map(|v| -v).collect(), vec![1.0; y.len()])
+    }
+
+    #[test]
+    fn splits_a_step_function() {
+        let x = Matrix::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![10.0],
+            vec![11.0],
+            vec![12.0],
+        ])
+        .unwrap();
+        let y = [0.0, 0.0, 0.0, 5.0, 5.0, 5.0];
+        let (g, h) = grads_for(&y);
+        let rows: Vec<usize> = (0..6).collect();
+        let tree = GradientTree::fit(&x, &g, &h, &rows, &TreeParams::default());
+        // With λ=1 leaves shrink towards zero: 3 samples of 5.0 → 15/4.
+        let right = tree.predict_row(&[11.0]);
+        assert!((right - 15.0 / 4.0).abs() < 1e-9, "got {right}");
+        let left = tree.predict_row(&[1.0]);
+        assert!(left.abs() < 1e-9);
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn respects_max_depth_zero() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let (g, h) = grads_for(&[0.0, 10.0]);
+        let params = TreeParams {
+            max_depth: 0,
+            ..TreeParams::default()
+        };
+        let tree = GradientTree::fit(&x, &g, &h, &[0, 1], &params);
+        assert_eq!(tree.n_leaves(), 1);
+        // Single leaf = −G/(H+λ) = 10/3.
+        assert!((tree.predict_row(&[0.0]) - 10.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_child_weight_blocks_tiny_splits() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let (g, h) = grads_for(&[0.0, 0.0, 100.0]);
+        let params = TreeParams {
+            min_child_weight: 2.0,
+            ..TreeParams::default()
+        };
+        let tree = GradientTree::fit(&x, &g, &h, &[0, 1, 2], &params);
+        // Only the 2-vs-1 split at x<1.5 … both children need H ≥ 2, so the
+        // only legal split is {0,1}|{2}: H_R = 1 < 2 → no split at all.
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn identical_feature_values_never_split() {
+        let x = Matrix::from_rows(&[vec![3.0], vec![3.0], vec![3.0]]).unwrap();
+        let (g, h) = grads_for(&[1.0, 2.0, 3.0]);
+        let tree = GradientTree::fit(&x, &g, &h, &[0, 1, 2], &TreeParams::default());
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn gamma_prunes_weak_splits() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let (g, h) = grads_for(&[0.0, 0.1, 0.0, 0.1]);
+        let strict = TreeParams {
+            gamma: 10.0,
+            ..TreeParams::default()
+        };
+        let tree = GradientTree::fit(&x, &g, &h, &[0, 1, 2, 3], &strict);
+        assert_eq!(tree.n_leaves(), 1, "γ=10 should prune everything");
+    }
+
+    #[test]
+    fn deeper_trees_fit_and_patterns() {
+        // y = 1 iff both coordinates > 0.5 — needs depth 2 (one split per
+        // feature). Note a greedy tree cannot split XOR (zero first-level
+        // gain); that is a known exact-greedy property, resolved in boosting
+        // by later trees, so AND is the right single-tree depth test.
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        let y = [0.0, 0.0, 0.0, 1.0];
+        let (g, h) = grads_for(&y);
+        let params = TreeParams {
+            max_depth: 2,
+            lambda: 0.0,
+            min_child_weight: 0.5,
+            ..TreeParams::default()
+        };
+        let tree = GradientTree::fit(&x, &g, &h, &[0, 1, 2, 3], &params);
+        for (row, target) in [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 0.0),
+            ([1.0, 0.0], 0.0),
+            ([1.0, 1.0], 1.0),
+        ] {
+            assert!(
+                (tree.predict_row(&row) - target).abs() < 1e-9,
+                "and-pattern at {row:?}: got {}",
+                tree.predict_row(&row)
+            );
+        }
+    }
+
+    #[test]
+    fn subset_rows_are_respected() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![100.0]]).unwrap();
+        let (g, h) = grads_for(&[0.0, 0.0, 99.0]);
+        // Fit only on rows {0, 1}: the outlier must not influence the tree.
+        let tree = GradientTree::fit(&x, &g, &h, &[0, 1], &TreeParams::default());
+        assert!(tree.predict_row(&[100.0]).abs() < 1e-9);
+    }
+}

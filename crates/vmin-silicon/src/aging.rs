@@ -1,0 +1,210 @@
+//! Transistor aging under burn-in stress: NBTI and HCI threshold-voltage
+//! degradation.
+//!
+//! The paper stresses chips with a dynamic Dhrystone workload at elevated
+//! voltage in a burn-in oven for 1008 h, pausing at read points to test. We
+//! model the induced ΔVth as the sum of:
+//!
+//! - **NBTI** (negative-bias temperature instability): power law in time with
+//!   exponent ≈ 0.16, exponential voltage acceleration, Arrhenius temperature
+//!   acceleration, and a small recovery fraction at each (unbiased) read.
+//! - **HCI** (hot-carrier injection): power law with exponent ≈ 0.45 scaled
+//!   by switching activity.
+//!
+//! Chip-to-chip rate variation is log-normal, and each path/monitor has its
+//! own log-normal sensitivity, so degradation slopes vary across the
+//! population — the heteroscedasticity that motivates adaptive intervals.
+
+use crate::config::{AgingSpec, StressSpec};
+use crate::units::{Hours, Volt};
+
+/// Boltzmann constant in eV/K.
+const K_B_EV: f64 = 8.617333262e-5;
+
+/// Reference temperature (K) the NBTI amplitude is calibrated at.
+const T_REF_K: f64 = 398.15; // 125 °C
+
+/// Reference time (h) the NBTI/HCI amplitudes are calibrated at.
+const T_REF_HOURS: f64 = 1000.0;
+
+/// Per-chip aging model: stress conditions plus this chip's rate factor.
+///
+/// # Examples
+///
+/// ```
+/// use vmin_silicon::{AgingModel, AgingSpec, Hours, StressSpec};
+///
+/// let model = AgingModel::new(AgingSpec::default(), StressSpec::default(), 1.0);
+/// let early = model.delta_vth(Hours(24.0), 1.0);
+/// let late = model.delta_vth(Hours(1008.0), 1.0);
+/// assert!(late.0 > early.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingModel {
+    spec: AgingSpec,
+    stress: StressSpec,
+    /// This chip's multiplicative aging-rate factor (log-normal, median 1).
+    chip_rate: f64,
+}
+
+impl AgingModel {
+    /// Builds the model for one chip.
+    ///
+    /// `chip_rate` is the chip's log-normal rate multiplier (1.0 = median
+    /// chip).
+    pub fn new(spec: AgingSpec, stress: StressSpec, chip_rate: f64) -> Self {
+        AgingModel {
+            spec,
+            stress,
+            chip_rate,
+        }
+    }
+
+    /// NBTI component of ΔVth (V) at cumulative stress time `t`.
+    pub fn nbti(&self, t: Hours) -> Volt {
+        if t.0 <= 0.0 {
+            return Volt(0.0);
+        }
+        let s = &self.spec;
+        let v_acc =
+            (s.nbti_voltage_gamma * (self.stress.stress_voltage.0 - self.stress.nominal_voltage.0))
+                .exp();
+        let tk = self.stress.stress_temperature.to_kelvin();
+        let t_acc = (s.nbti_activation_ev / K_B_EV * (1.0 / T_REF_K - 1.0 / tk)).exp();
+        let raw = s.nbti_amplitude * v_acc * t_acc * (t.0 / T_REF_HOURS).powf(s.nbti_exponent);
+        // Partial recovery observed because the read happens after the
+        // stress bias is removed.
+        Volt(raw * (1.0 - s.nbti_recovery_fraction) * self.chip_rate)
+    }
+
+    /// HCI component of ΔVth (V) at cumulative stress time `t`.
+    pub fn hci(&self, t: Hours) -> Volt {
+        if t.0 <= 0.0 {
+            return Volt(0.0);
+        }
+        let s = &self.spec;
+        let raw = s.hci_amplitude
+            * self.stress.activity
+            * (t.0 / T_REF_HOURS).powf(s.hci_exponent);
+        Volt(raw * self.chip_rate)
+    }
+
+    /// Total ΔVth (V) at stress time `t`, scaled by a per-path (or
+    /// per-monitor) `sensitivity` factor.
+    pub fn delta_vth(&self, t: Hours, sensitivity: f64) -> Volt {
+        Volt((self.nbti(t).0 + self.hci(t).0) * sensitivity)
+    }
+
+    /// Borrow of the aging spec.
+    pub fn spec(&self) -> &AgingSpec {
+        &self.spec
+    }
+
+    /// The chip's rate multiplier.
+    pub fn chip_rate(&self) -> f64 {
+        self.chip_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Celsius;
+
+    fn model(rate: f64) -> AgingModel {
+        AgingModel::new(AgingSpec::default(), StressSpec::default(), rate)
+    }
+
+    #[test]
+    fn zero_time_means_zero_shift() {
+        let m = model(1.0);
+        assert_eq!(m.delta_vth(Hours(0.0), 1.0), Volt(0.0));
+        assert_eq!(m.nbti(Hours(0.0)), Volt(0.0));
+        assert_eq!(m.hci(Hours(0.0)), Volt(0.0));
+    }
+
+    #[test]
+    fn degradation_is_monotone_in_time() {
+        let m = model(1.0);
+        let points = [24.0, 48.0, 168.0, 504.0, 1008.0];
+        let mut prev = 0.0;
+        for &t in &points {
+            let d = m.delta_vth(Hours(t), 1.0).0;
+            assert!(d > prev, "ΔVth must grow with stress time");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn degradation_is_sublinear_saturating() {
+        // Power-law with n < 1: doubling time must less-than-double ΔVth.
+        let m = model(1.0);
+        let d1 = m.nbti(Hours(100.0)).0;
+        let d2 = m.nbti(Hours(200.0)).0;
+        assert!(d2 < 2.0 * d1);
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn magnitude_is_tens_of_millivolts_at_end_of_life() {
+        let m = model(1.0);
+        let d = m.delta_vth(Hours(1008.0), 1.0);
+        let mv = d.to_millivolts();
+        assert!(
+            mv > 10.0 && mv < 120.0,
+            "end-of-stress ΔVth should be tens of mV, got {mv} mV"
+        );
+    }
+
+    #[test]
+    fn voltage_acceleration_increases_damage() {
+        let spec = AgingSpec::default();
+        let hot = StressSpec {
+            stress_voltage: Volt(1.05),
+            ..StressSpec::default()
+        };
+        let base = AgingModel::new(spec.clone(), StressSpec::default(), 1.0);
+        let accel = AgingModel::new(spec, hot, 1.0);
+        assert!(accel.nbti(Hours(168.0)).0 > base.nbti(Hours(168.0)).0);
+    }
+
+    #[test]
+    fn temperature_acceleration_increases_damage() {
+        let spec = AgingSpec::default();
+        let cool = StressSpec {
+            stress_temperature: Celsius(85.0),
+            ..StressSpec::default()
+        };
+        let base = AgingModel::new(spec.clone(), StressSpec::default(), 1.0);
+        let cooler = AgingModel::new(spec, cool, 1.0);
+        assert!(cooler.nbti(Hours(168.0)).0 < base.nbti(Hours(168.0)).0);
+    }
+
+    #[test]
+    fn chip_rate_scales_linearly() {
+        let slow = model(0.5);
+        let fast = model(2.0);
+        let t = Hours(504.0);
+        assert!((fast.delta_vth(t, 1.0).0 / slow.delta_vth(t, 1.0).0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitivity_scales_delta() {
+        let m = model(1.0);
+        let t = Hours(504.0);
+        let d1 = m.delta_vth(t, 1.0).0;
+        let d2 = m.delta_vth(t, 1.5).0;
+        assert!((d2 / d1 - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_reduces_observed_nbti() {
+        let no_rec = AgingSpec {
+            nbti_recovery_fraction: 0.0,
+            ..AgingSpec::default()
+        };
+        let base = AgingModel::new(AgingSpec::default(), StressSpec::default(), 1.0);
+        let unrecovered = AgingModel::new(no_rec, StressSpec::default(), 1.0);
+        assert!(base.nbti(Hours(100.0)).0 < unrecovered.nbti(Hours(100.0)).0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-chip state: process corner, critical-path population, defects and
+//! the chip's aging model.
+
+use crate::aging::AgingModel;
+use crate::config::DatasetSpec;
+use crate::device::DeviceParams;
+use crate::process::{ProcessSampler, ProcessState};
+use crate::sampling::{lognormal, normal};
+use crate::units::{Celsius, Hours, Picoseconds, Volt};
+use rand::Rng;
+
+/// One speed-limiting path of a chip.
+///
+/// A path is characterized by its local threshold-voltage mismatch, logic
+/// depth, fixed wire delay, aging sensitivity and (rarely) a resistive
+/// defect penalty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Local (within-die) Vth mismatch of this path's dominant devices (V).
+    pub local_vth_offset: Volt,
+    /// Number of equivalent gate stages.
+    pub depth: usize,
+    /// Fixed, voltage-insensitive wire delay (ps).
+    pub wire_delay_ps: f64,
+    /// Log-normal sensitivity of this path to chip-level aging.
+    pub aging_sensitivity: f64,
+    /// Multiplicative delay penalty from a resistive defect (1.0 = clean).
+    pub defect_penalty: f64,
+}
+
+/// A simulated die: global process state, aging model and critical paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chip {
+    /// Zero-based chip index within the campaign.
+    pub id: usize,
+    /// Global process state.
+    pub process: ProcessState,
+    /// This chip's aging model (includes the chip-level rate factor).
+    pub aging: AgingModel,
+    /// Speed-limiting paths; SCAN Vmin is set by the worst of them.
+    pub paths: Vec<CriticalPath>,
+    /// Whether a latent defect was injected into one of the paths.
+    pub defective: bool,
+}
+
+impl Chip {
+    /// Device parameters of `path` at stress time `t`: base Vth plus global
+    /// process shift plus local mismatch plus accumulated aging.
+    pub fn path_device(&self, path: &CriticalPath, t: Hours) -> DeviceParams {
+        let aged = self.aging.delta_vth(t, path.aging_sensitivity);
+        DeviceParams {
+            vth25: Volt(0.30 + self.process.vth_shift.0 + path.local_vth_offset.0 + aged.0),
+            leff_factor: self.process.leff_factor * path.defect_penalty,
+            mobility_factor: self.process.mobility_factor,
+            unit_delay_ps: 8.0,
+        }
+    }
+
+    /// Delay of `path` at supply `v`, temperature `temp` and stress time `t`.
+    ///
+    /// Returns `None` when the path does not evaluate at this voltage (supply
+    /// at or below the effective threshold).
+    pub fn path_delay(
+        &self,
+        path: &CriticalPath,
+        v: Volt,
+        temp: Celsius,
+        t: Hours,
+    ) -> Option<Picoseconds> {
+        let dev = self.path_device(path, t);
+        let gate = dev.gate_delay(v, temp)?;
+        Some(Picoseconds(
+            gate.0 * path.depth as f64 + path.wire_delay_ps,
+        ))
+    }
+
+    /// Worst (largest) path delay across the chip at the given conditions,
+    /// or `None` if any path fails to evaluate.
+    pub fn worst_path_delay(&self, v: Volt, temp: Celsius, t: Hours) -> Option<Picoseconds> {
+        let mut worst = 0.0f64;
+        for p in &self.paths {
+            let d = self.path_delay(p, v, temp, t)?;
+            worst = worst.max(d.0);
+        }
+        Some(Picoseconds(worst))
+    }
+
+    /// Total chip leakage factor at the given conditions (drives IDDQ).
+    pub fn chip_leakage(&self, v: Volt, temp: Celsius, t: Hours) -> f64 {
+        // Use the average aged device as the leakage representative; aging
+        // raises Vth and therefore *reduces* leakage slightly.
+        let aged = self.aging.delta_vth(t, 1.0);
+        let dev = DeviceParams {
+            vth25: Volt(0.30 + self.process.vth_shift.0 + aged.0),
+            leff_factor: self.process.leff_factor,
+            mobility_factor: self.process.mobility_factor,
+            unit_delay_ps: 8.0,
+        };
+        self.process.leakage_factor * dev.leakage(v, temp)
+    }
+}
+
+/// Builds chip populations from a [`DatasetSpec`].
+#[derive(Debug, Clone)]
+pub struct ChipFactory {
+    spec: DatasetSpec,
+}
+
+impl ChipFactory {
+    /// Creates a factory for the given campaign spec.
+    pub fn new(spec: DatasetSpec) -> Self {
+        ChipFactory { spec }
+    }
+
+    /// Borrow of the spec.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// Fabricates `spec.chip_count` chips.
+    pub fn fabricate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Chip> {
+        let spec = &self.spec;
+        let states = ProcessSampler::new(spec.process.clone()).sample(rng, spec.chip_count);
+        let mut chips = Vec::with_capacity(spec.chip_count);
+        // Total global Vth sigma, used to standardize the corner term.
+        let sigma_global = (spec.process.sigma_vth_lot.powi(2)
+            + spec.process.sigma_vth_wafer.powi(2)
+            + spec.process.sigma_vth_die.powi(2))
+        .sqrt();
+        for (id, process) in states.into_iter().enumerate() {
+            // Fast-corner (low Vth) chips age faster: split the log-rate
+            // variance between a corner-driven part (observable from time-0
+            // data) and an idiosyncratic part (only observable from later
+            // monitor reads).
+            let rho = spec.aging.rate_corner_fraction.clamp(0.0, 1.0);
+            let corner = -process.vth_shift.0 / sigma_global.max(1e-9);
+            let log_rate = spec.aging.sigma_rate_log
+                * (rho.sqrt() * corner + (1.0 - rho).sqrt() * crate::sampling::standard_normal(rng));
+            let chip_rate = log_rate.exp();
+            let aging = AgingModel::new(spec.aging.clone(), spec.stress.clone(), chip_rate);
+            let defective = rng.gen::<f64>() < spec.defect.defect_rate;
+            let defect_path = if defective {
+                rng.gen_range(0..spec.paths_per_chip)
+            } else {
+                usize::MAX
+            };
+            let mut paths = Vec::with_capacity(spec.paths_per_chip);
+            for pi in 0..spec.paths_per_chip {
+                let local = normal(rng, 0.0, spec.process.sigma_vth_local);
+                let depth_jitter: i64 = rng.gen_range(-4..=4);
+                let depth = (spec.path_depth as i64 + depth_jitter).max(8) as usize;
+                let wire = rng.gen_range(30.0..90.0);
+                let sensitivity = lognormal(rng, 0.0, spec.aging.sigma_path_sensitivity_log);
+                let defect_penalty = if pi == defect_path {
+                    1.0 + spec.defect.mean_delay_penalty * lognormal(rng, 0.0, 0.4)
+                } else {
+                    1.0
+                };
+                let sensitivity = if pi == defect_path {
+                    sensitivity * spec.defect.aging_multiplier
+                } else {
+                    sensitivity
+                };
+                paths.push(CriticalPath {
+                    local_vth_offset: Volt(local),
+                    depth,
+                    wire_delay_ps: wire,
+                    aging_sensitivity: sensitivity,
+                    defect_penalty,
+                });
+            }
+            chips.push(Chip {
+                id,
+                process,
+                aging,
+                paths,
+                defective,
+            });
+        }
+        chips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_population(seed: u64) -> Vec<Chip> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        ChipFactory::new(DatasetSpec::small()).fabricate(&mut rng)
+    }
+
+    #[test]
+    fn fabricates_requested_count() {
+        let chips = small_population(1);
+        assert_eq!(chips.len(), DatasetSpec::small().chip_count);
+        for c in &chips {
+            assert_eq!(c.paths.len(), DatasetSpec::small().paths_per_chip);
+        }
+    }
+
+    #[test]
+    fn path_delay_monotone_decreasing_in_voltage() {
+        let chips = small_population(2);
+        let chip = &chips[0];
+        let p = &chip.paths[0];
+        let d_low = chip.path_delay(p, Volt(0.5), Celsius(25.0), Hours(0.0)).unwrap();
+        let d_high = chip.path_delay(p, Volt(0.8), Celsius(25.0), Hours(0.0)).unwrap();
+        assert!(d_low.0 > d_high.0);
+    }
+
+    #[test]
+    fn aging_slows_paths() {
+        let chips = small_population(3);
+        let chip = &chips[0];
+        let fresh = chip.worst_path_delay(Volt(0.55), Celsius(25.0), Hours(0.0)).unwrap();
+        let aged = chip.worst_path_delay(Volt(0.55), Celsius(25.0), Hours(1008.0)).unwrap();
+        assert!(aged.0 > fresh.0, "aging must slow the chip");
+    }
+
+    #[test]
+    fn worst_path_dominates_each_path() {
+        let chips = small_population(4);
+        let chip = &chips[1];
+        let worst = chip.worst_path_delay(Volt(0.6), Celsius(25.0), Hours(0.0)).unwrap();
+        for p in &chip.paths {
+            let d = chip.path_delay(p, Volt(0.6), Celsius(25.0), Hours(0.0)).unwrap();
+            assert!(d.0 <= worst.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sub_threshold_voltage_fails_to_evaluate() {
+        let chips = small_population(5);
+        let chip = &chips[0];
+        assert!(chip.worst_path_delay(Volt(0.15), Celsius(-45.0), Hours(0.0)).is_none());
+    }
+
+    #[test]
+    fn leakage_positive_and_varies_across_chips() {
+        let chips = small_population(6);
+        let leaks: Vec<f64> = chips
+            .iter()
+            .map(|c| c.chip_leakage(Volt(0.75), Celsius(25.0), Hours(0.0)))
+            .collect();
+        assert!(leaks.iter().all(|&l| l > 0.0));
+        let min = leaks.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = leaks.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max / min > 1.5, "leakage spread should be material");
+    }
+
+    #[test]
+    fn defect_rate_roughly_matches_spec() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut spec = DatasetSpec::small();
+        spec.chip_count = 2000;
+        let chips = ChipFactory::new(spec).fabricate(&mut rng);
+        let frac = chips.iter().filter(|c| c.defective).count() as f64 / 2000.0;
+        assert!((frac - 0.05).abs() < 0.02, "defect fraction {frac}");
+    }
+
+    #[test]
+    fn defective_chips_have_penalized_path() {
+        let chips = small_population(8);
+        for c in &chips {
+            let has_penalty = c.paths.iter().any(|p| p.defect_penalty > 1.0);
+            assert_eq!(c.defective, has_penalty, "chip {}", c.id);
+        }
+    }
+
+    #[test]
+    fn deterministic_fabrication() {
+        assert_eq!(small_population(42), small_population(42));
+    }
+}

@@ -1,0 +1,371 @@
+//! Simulation configuration.
+//!
+//! Defaults mirror the paper's industrial setup (§IV-A, Table II): 156 chips,
+//! burn-in read points {0, 24, 48, 168, 504, 1008} h, SCAN Vmin tested at
+//! {−45, 25, 125} °C, 1800 parametric tests at three temperatures, 168 ROD
+//! monitors at 25 °C, 10 CPD monitors at 80 °C.
+
+use crate::units::{Celsius, Hours, Volt};
+
+/// Process-variation magnitudes for a simulated 5 nm-class technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessSpec {
+    /// Nominal threshold voltage at 25 °C (V).
+    pub vth_nominal: Volt,
+    /// Standard deviation of the lot-level global Vth shift (V).
+    pub sigma_vth_lot: f64,
+    /// Standard deviation of the wafer-level global Vth shift (V).
+    pub sigma_vth_wafer: f64,
+    /// Standard deviation of the die-level global Vth shift (V).
+    pub sigma_vth_die: f64,
+    /// Standard deviation of within-die (per-path / per-monitor) local Vth
+    /// mismatch (V).
+    pub sigma_vth_local: f64,
+    /// Standard deviation of the multiplicative channel-length factor
+    /// (dimensionless, around 1.0).
+    pub sigma_leff: f64,
+    /// Standard deviation of the multiplicative carrier-mobility factor.
+    pub sigma_mobility: f64,
+    /// Log-normal sigma of the chip leakage factor.
+    pub sigma_leakage_log: f64,
+    /// Number of wafers per lot used in the hierarchical draw.
+    pub wafers_per_lot: usize,
+    /// Number of dies per wafer used in the hierarchical draw.
+    pub dies_per_wafer: usize,
+}
+
+impl Default for ProcessSpec {
+    fn default() -> Self {
+        ProcessSpec {
+            vth_nominal: Volt(0.30),
+            sigma_vth_lot: 0.008,
+            sigma_vth_wafer: 0.006,
+            sigma_vth_die: 0.010,
+            sigma_vth_local: 0.003,
+            sigma_leff: 0.03,
+            sigma_mobility: 0.04,
+            sigma_leakage_log: 0.35,
+            wafers_per_lot: 25,
+            dies_per_wafer: 60,
+        }
+    }
+}
+
+/// Aging-model coefficients (NBTI + HCI) under burn-in stress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingSpec {
+    /// NBTI prefactor: median ΔVth (V) after 1000 h at reference stress.
+    pub nbti_amplitude: f64,
+    /// NBTI time-power-law exponent `n` (≈ 0.16 for reaction–diffusion).
+    pub nbti_exponent: f64,
+    /// Voltage acceleration factor γ (1/V): `exp(γ (V_stress − V_nom))`.
+    pub nbti_voltage_gamma: f64,
+    /// Activation energy `Ea` in eV for the Arrhenius temperature factor.
+    pub nbti_activation_ev: f64,
+    /// Fractional NBTI recovery observed at read points (0 = none).
+    pub nbti_recovery_fraction: f64,
+    /// HCI prefactor: median ΔVth (V) after 1000 h at reference activity.
+    pub hci_amplitude: f64,
+    /// HCI time-power-law exponent `m` (≈ 0.45).
+    pub hci_exponent: f64,
+    /// Log-normal sigma of chip-to-chip aging-rate variation.
+    pub sigma_rate_log: f64,
+    /// Fraction of the aging-rate log-variance explained by the chip's
+    /// process corner (fast, low-Vth chips see higher oxide fields and
+    /// currents, so they age faster). The remainder is idiosyncratic.
+    pub rate_corner_fraction: f64,
+    /// Log-normal sigma of path-to-path aging sensitivity variation.
+    pub sigma_path_sensitivity_log: f64,
+}
+
+impl Default for AgingSpec {
+    fn default() -> Self {
+        AgingSpec {
+            nbti_amplitude: 0.010,
+            nbti_exponent: 0.16,
+            nbti_voltage_gamma: 6.0,
+            nbti_activation_ev: 0.08,
+            nbti_recovery_fraction: 0.08,
+            hci_amplitude: 0.006,
+            hci_exponent: 0.45,
+            sigma_rate_log: 0.15,
+            rate_corner_fraction: 0.8,
+            sigma_path_sensitivity_log: 0.08,
+        }
+    }
+}
+
+/// Burn-in stress conditions (dynamic Dhrystone at elevated voltage, §IV-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressSpec {
+    /// Elevated stress supply voltage (V).
+    pub stress_voltage: Volt,
+    /// Nominal operating voltage used as the aging reference (V).
+    pub nominal_voltage: Volt,
+    /// Oven temperature during stress (°C).
+    pub stress_temperature: Celsius,
+    /// Switching-activity factor of the Dhrystone workload (0..1].
+    pub activity: f64,
+    /// Read points at which stress pauses for testing (hours).
+    pub read_points: Vec<Hours>,
+}
+
+impl Default for StressSpec {
+    fn default() -> Self {
+        StressSpec {
+            stress_voltage: Volt(0.95),
+            nominal_voltage: Volt(0.75),
+            stress_temperature: Celsius(125.0),
+            activity: 0.25,
+            read_points: vec![
+                Hours(0.0),
+                Hours(24.0),
+                Hours(48.0),
+                Hours(168.0),
+                Hours(504.0),
+                Hours(1008.0),
+            ],
+        }
+    }
+}
+
+/// Defect-injection parameters producing Vmin outliers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefectSpec {
+    /// Probability that a chip carries a latent resistive defect.
+    pub defect_rate: f64,
+    /// Mean extra path-delay fraction added by a defect at nominal voltage.
+    pub mean_delay_penalty: f64,
+    /// Multiplier on the defective path's aging rate (defects age faster).
+    pub aging_multiplier: f64,
+}
+
+impl Default for DefectSpec {
+    fn default() -> Self {
+        DefectSpec {
+            defect_rate: 0.05,
+            mean_delay_penalty: 0.06,
+            aging_multiplier: 1.8,
+        }
+    }
+}
+
+/// On-chip monitor inventory (Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorSpec {
+    /// Number of ring-oscillator-delay (ROD) monitors.
+    pub rod_count: usize,
+    /// Temperature at which ROD is read on ATE (°C).
+    pub rod_temperature: Celsius,
+    /// Supply voltage for ROD readout (V).
+    pub rod_voltage: Volt,
+    /// Relative measurement noise of an ROD readout (fraction of value).
+    pub rod_noise_rel: f64,
+    /// Number of in-situ critical-path-delay (CPD) monitors.
+    pub cpd_count: usize,
+    /// In-oven temperature at which CPD is read (°C).
+    pub cpd_temperature: Celsius,
+    /// Supply voltage for CPD readout (V).
+    pub cpd_voltage: Volt,
+    /// Relative measurement noise of a CPD readout.
+    pub cpd_noise_rel: f64,
+}
+
+impl Default for MonitorSpec {
+    fn default() -> Self {
+        MonitorSpec {
+            rod_count: 168,
+            rod_temperature: Celsius(25.0),
+            rod_voltage: Volt(0.75),
+            rod_noise_rel: 0.003,
+            cpd_count: 10,
+            cpd_temperature: Celsius(80.0),
+            cpd_voltage: Volt(0.75),
+            cpd_noise_rel: 0.004,
+        }
+    }
+}
+
+/// Parametric ATE test inventory (Table II: 1800 tests across 3 temps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParametricSpec {
+    /// IDDQ vectors per temperature.
+    pub iddq_per_temp: usize,
+    /// Trip-IDD tests per temperature.
+    pub trip_idd_per_temp: usize,
+    /// Pin-leakage tests per temperature.
+    pub leakage_per_temp: usize,
+    /// Process-insensitive "artifact" tests per temperature (pure noise —
+    /// real ATE flows carry many of these).
+    pub artifact_per_temp: usize,
+    /// Temperatures the parametric flow runs at (°C).
+    pub temperatures: Vec<Celsius>,
+    /// Relative measurement noise of a parametric reading.
+    pub noise_rel: f64,
+}
+
+impl ParametricSpec {
+    /// Total number of parametric features produced per chip.
+    pub fn total_tests(&self) -> usize {
+        (self.iddq_per_temp + self.trip_idd_per_temp + self.leakage_per_temp
+            + self.artifact_per_temp)
+            * self.temperatures.len()
+    }
+}
+
+impl Default for ParametricSpec {
+    fn default() -> Self {
+        // 600 per temperature × 3 temperatures = 1800 (Table II).
+        ParametricSpec {
+            iddq_per_temp: 220,
+            trip_idd_per_temp: 120,
+            leakage_per_temp: 200,
+            artifact_per_temp: 60,
+            temperatures: vec![Celsius(-45.0), Celsius(25.0), Celsius(125.0)],
+            noise_rel: 0.02,
+        }
+    }
+}
+
+/// SCAN Vmin test conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VminTestSpec {
+    /// Temperatures at which SCAN Vmin is measured (°C).
+    pub temperatures: Vec<Celsius>,
+    /// Target clock period is derived from a nominal chip's critical path at
+    /// this calibration voltage and temperature.
+    pub calibration_voltage: Volt,
+    /// Calibration temperature (°C).
+    pub calibration_temperature: Celsius,
+    /// Voltage resolution of the ATE shmoo search (V). The conventional flow
+    /// steps down from a high voltage in these increments.
+    pub shmoo_step: Volt,
+    /// Upper bound of the shmoo search (V).
+    pub search_high: Volt,
+    /// Lower bound of the shmoo search (V).
+    pub search_low: Volt,
+    /// Standard deviation of repeatability noise on a Vmin measurement (V).
+    pub measurement_noise: f64,
+    /// Product min-spec: Vmin above this violates specification (V).
+    pub min_spec: Volt,
+    /// Power-delivery IR drop seen by the core, in volts per unit of
+    /// *nominal-relative* chip leakage. Leaky chips droop the core supply,
+    /// raising their pad-referred Vmin — an effect parametric current tests
+    /// observe directly but delay monitors at a forced core voltage cannot.
+    /// This is what makes parametric data complementary to on-chip monitors
+    /// (Table IV's "Both" row beating on-chip-only).
+    pub ir_drop_per_leakage: Volt,
+}
+
+impl Default for VminTestSpec {
+    fn default() -> Self {
+        VminTestSpec {
+            temperatures: vec![Celsius(-45.0), Celsius(25.0), Celsius(125.0)],
+            calibration_voltage: Volt(0.55),
+            calibration_temperature: Celsius(25.0),
+            shmoo_step: Volt(0.0025),
+            search_high: Volt(0.90),
+            search_low: Volt(0.35),
+            measurement_noise: 0.001,
+            min_spec: Volt(0.70),
+            ir_drop_per_leakage: Volt(0.006),
+        }
+    }
+}
+
+/// Top-level dataset specification: everything needed to reproduce the
+/// paper's data-collection campaign on synthetic silicon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Number of chips in the campaign (paper: 156).
+    pub chip_count: usize,
+    /// Number of critical paths per chip competing for the Vmin maximum.
+    pub paths_per_chip: usize,
+    /// Logic depth (equivalent gate stages) of each critical path.
+    pub path_depth: usize,
+    /// Process variation magnitudes.
+    pub process: ProcessSpec,
+    /// Aging-model coefficients.
+    pub aging: AgingSpec,
+    /// Burn-in stress conditions.
+    pub stress: StressSpec,
+    /// Defect injection.
+    pub defect: DefectSpec,
+    /// On-chip monitor inventory.
+    pub monitors: MonitorSpec,
+    /// Parametric test inventory.
+    pub parametric: ParametricSpec,
+    /// SCAN Vmin test conditions.
+    pub vmin_test: VminTestSpec,
+}
+
+impl Default for DatasetSpec {
+    fn default() -> Self {
+        DatasetSpec {
+            chip_count: 156,
+            paths_per_chip: 24,
+            path_depth: 40,
+            process: ProcessSpec::default(),
+            aging: AgingSpec::default(),
+            stress: StressSpec::default(),
+            defect: DefectSpec::default(),
+            monitors: MonitorSpec::default(),
+            parametric: ParametricSpec::default(),
+            vmin_test: VminTestSpec::default(),
+        }
+    }
+}
+
+impl DatasetSpec {
+    /// A reduced-size spec for fast unit/integration tests: fewer chips,
+    /// fewer parametric tests, fewer monitors — same physics.
+    #[allow(clippy::field_reassign_with_default)] // nested-struct builder style
+    pub fn small() -> Self {
+        let mut spec = DatasetSpec::default();
+        spec.chip_count = 64;
+        spec.paths_per_chip = 8;
+        spec.parametric.iddq_per_temp = 12;
+        spec.parametric.trip_idd_per_temp = 6;
+        spec.parametric.leakage_per_temp = 10;
+        spec.parametric.artifact_per_temp = 4;
+        spec.monitors.rod_count = 24;
+        spec.monitors.cpd_count = 4;
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table2() {
+        let spec = DatasetSpec::default();
+        assert_eq!(spec.chip_count, 156);
+        assert_eq!(spec.parametric.total_tests(), 1800);
+        assert_eq!(spec.monitors.rod_count, 168);
+        assert_eq!(spec.monitors.cpd_count, 10);
+        assert_eq!(spec.monitors.rod_temperature, Celsius(25.0));
+        assert_eq!(spec.monitors.cpd_temperature, Celsius(80.0));
+        let hours: Vec<f64> = spec.stress.read_points.iter().map(|h| h.0).collect();
+        assert_eq!(hours, vec![0.0, 24.0, 48.0, 168.0, 504.0, 1008.0]);
+        let temps: Vec<f64> = spec.vmin_test.temperatures.iter().map(|t| t.0).collect();
+        assert_eq!(temps, vec![-45.0, 25.0, 125.0]);
+    }
+
+    #[test]
+    fn small_spec_is_smaller_but_same_physics() {
+        let s = DatasetSpec::small();
+        assert!(s.chip_count < 156);
+        assert!(s.parametric.total_tests() < 1800);
+        assert_eq!(s.process, ProcessSpec::default());
+        assert_eq!(s.aging, AgingSpec::default());
+    }
+
+    #[test]
+    fn stress_is_accelerated() {
+        let s = StressSpec::default();
+        assert!(s.stress_voltage > s.nominal_voltage, "burn-in must be at elevated voltage");
+        assert!(s.stress_temperature.0 > 25.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Hierarchical process variation: lot → wafer → die → within-die.
+//!
+//! Each chip receives a *global* parameter shift composed of lot, wafer and
+//! die effects, plus per-path and per-monitor *local* mismatch drawn later.
+//! The hierarchy matters for realism: chips from the same wafer are
+//! correlated, which is exactly the structure real parametric data shows.
+
+use crate::config::ProcessSpec;
+use crate::sampling::{lognormal, normal};
+use crate::units::Volt;
+use rand::Rng;
+
+/// Global (per-chip) process state shared by every device on the die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessState {
+    /// Total global Vth shift relative to nominal (V): lot + wafer + die.
+    pub vth_shift: Volt,
+    /// Multiplicative channel-length factor.
+    pub leff_factor: f64,
+    /// Multiplicative mobility factor.
+    pub mobility_factor: f64,
+    /// Multiplicative chip leakage factor (log-normal, median 1).
+    pub leakage_factor: f64,
+    /// Lot index the chip came from (for provenance/debug).
+    pub lot: usize,
+    /// Wafer index within the lot.
+    pub wafer: usize,
+    /// Die index within the wafer.
+    pub die: usize,
+}
+
+/// Generates correlated per-chip [`ProcessState`]s following the
+/// lot/wafer/die hierarchy of `spec`.
+///
+/// Chips are assigned to wafers sequentially (`dies_per_wafer` chips per
+/// wafer, `wafers_per_lot` wafers per lot), so consecutive chips share wafer-
+/// and lot-level shifts.
+#[derive(Debug, Clone)]
+pub struct ProcessSampler {
+    spec: ProcessSpec,
+}
+
+impl ProcessSampler {
+    /// Creates a sampler for the given variation spec.
+    pub fn new(spec: ProcessSpec) -> Self {
+        ProcessSampler { spec }
+    }
+
+    /// Borrow of the underlying spec.
+    pub fn spec(&self) -> &ProcessSpec {
+        &self.spec
+    }
+
+    /// Draws `n` chips' worth of process state.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<ProcessState> {
+        let s = &self.spec;
+        let mut out = Vec::with_capacity(n);
+        let mut lot_shift = normal(rng, 0.0, s.sigma_vth_lot);
+        let mut wafer_shift = normal(rng, 0.0, s.sigma_vth_wafer);
+        for i in 0..n {
+            let die_in_wafer = i % s.dies_per_wafer;
+            let wafer_idx = i / s.dies_per_wafer;
+            let lot_idx = wafer_idx / s.wafers_per_lot;
+            if i > 0 && die_in_wafer == 0 {
+                wafer_shift = normal(rng, 0.0, s.sigma_vth_wafer);
+                if wafer_idx.is_multiple_of(s.wafers_per_lot) {
+                    lot_shift = normal(rng, 0.0, s.sigma_vth_lot);
+                }
+            }
+            let die_shift = normal(rng, 0.0, s.sigma_vth_die);
+            let vth_shift = Volt(lot_shift + wafer_shift + die_shift);
+            // Leff and mobility correlate negatively with Vth shift in real
+            // silicon (fast corner = low Vth, short channel, high mobility);
+            // keep a partial correlation plus independent components.
+            let corr = -vth_shift.0 / (3.0 * s.sigma_vth_die);
+            let leff_factor =
+                (1.0 + 0.5 * corr * s.sigma_leff + normal(rng, 0.0, s.sigma_leff)).max(0.7);
+            let mobility_factor =
+                (1.0 - 0.5 * corr * s.sigma_mobility + normal(rng, 0.0, s.sigma_mobility)).max(0.7);
+            // Leakage rises exponentially as Vth falls.
+            let leakage_factor = lognormal(rng, -vth_shift.0 / 0.030, s.sigma_leakage_log);
+            out.push(ProcessState {
+                vth_shift,
+                leff_factor,
+                mobility_factor,
+                leakage_factor,
+                lot: lot_idx,
+                wafer: wafer_idx % s.wafers_per_lot,
+                die: die_in_wafer,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_n(n: usize, seed: u64) -> Vec<ProcessState> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        ProcessSampler::new(ProcessSpec::default()).sample(&mut rng, n)
+    }
+
+    #[test]
+    fn vth_shift_spread_is_plausible() {
+        let states = sample_n(2000, 11);
+        let shifts: Vec<f64> = states.iter().map(|s| s.vth_shift.0).collect();
+        let mean = shifts.iter().sum::<f64>() / shifts.len() as f64;
+        let sd = (shifts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (shifts.len() - 1) as f64)
+            .sqrt();
+        // Total sigma ≈ sqrt(8² + 6² + 10²) mV ≈ 14 mV; wafer/lot correlation
+        // inflates the sample estimate somewhat.
+        assert!(sd > 0.008 && sd < 0.030, "vth sd {sd} out of range");
+        assert!(mean.abs() < 0.01);
+    }
+
+    #[test]
+    fn same_wafer_chips_are_correlated() {
+        // Two chips on the same wafer share lot+wafer shifts; chips far apart
+        // don't. Check that within-wafer variance < overall variance.
+        let states = sample_n(600, 5);
+        let dpw = ProcessSpec::default().dies_per_wafer;
+        let mut within = Vec::new();
+        for w in 0..(600 / dpw) {
+            let chunk: Vec<f64> = states[w * dpw..(w + 1) * dpw]
+                .iter()
+                .map(|s| s.vth_shift.0)
+                .collect();
+            let m = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            within
+                .push(chunk.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (dpw - 1) as f64);
+        }
+        let within_var = within.iter().sum::<f64>() / within.len() as f64;
+        let all: Vec<f64> = states.iter().map(|s| s.vth_shift.0).collect();
+        let m = all.iter().sum::<f64>() / all.len() as f64;
+        let total_var =
+            all.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (all.len() - 1) as f64;
+        assert!(
+            within_var < total_var,
+            "within-wafer variance {within_var} should be below total {total_var}"
+        );
+    }
+
+    #[test]
+    fn leakage_anticorrelates_with_vth() {
+        let states = sample_n(3000, 3);
+        let vth: Vec<f64> = states.iter().map(|s| s.vth_shift.0).collect();
+        let leak: Vec<f64> = states.iter().map(|s| s.leakage_factor.ln()).collect();
+        let r = vmin_linalg_pearson(&vth, &leak);
+        assert!(r < -0.5, "log-leakage should anticorrelate with Vth, got r={r}");
+    }
+
+    // Local copy to avoid a dev-dependency cycle on vmin-linalg.
+    fn vmin_linalg_pearson(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for i in 0..a.len() {
+            cov += (a[i] - ma) * (b[i] - mb);
+            va += (a[i] - ma) * (a[i] - ma);
+            vb += (b[i] - mb) * (b[i] - mb);
+        }
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    #[test]
+    fn provenance_indices_follow_hierarchy() {
+        let states = sample_n(200, 1);
+        let spec = ProcessSpec::default();
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(s.die, i % spec.dies_per_wafer);
+            assert_eq!(s.wafer, (i / spec.dies_per_wafer) % spec.wafers_per_lot);
+        }
+    }
+
+    #[test]
+    fn factors_stay_physical() {
+        let states = sample_n(5000, 77);
+        for s in states {
+            assert!(s.leff_factor >= 0.7);
+            assert!(s.mobility_factor >= 0.7);
+            assert!(s.leakage_factor > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        assert_eq!(sample_n(50, 123), sample_n(50, 123));
+    }
+}

@@ -1,0 +1,114 @@
+//! Newtype units used throughout the simulator.
+//!
+//! Voltages, temperatures and stress times are easy to confuse when every
+//! quantity is an `f64`; these wrappers keep the interfaces honest.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Electrical potential in volts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Volt(pub f64);
+
+impl Volt {
+    /// Converts to millivolts.
+    pub fn to_millivolts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Builds a voltage from millivolts.
+    pub fn from_millivolts(mv: f64) -> Self {
+        Volt(mv * 1e-3)
+    }
+}
+
+impl Add for Volt {
+    type Output = Volt;
+    fn add(self, rhs: Volt) -> Volt {
+        Volt(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Volt {
+    type Output = Volt;
+    fn sub(self, rhs: Volt) -> Volt {
+        Volt(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Volt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} V", self.0)
+    }
+}
+
+/// Temperature in degrees Celsius.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Celsius(pub f64);
+
+impl Celsius {
+    /// Converts to kelvin.
+    pub fn to_kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} °C", self.0)
+    }
+}
+
+/// Cumulative stress time in hours (burn-in oven time).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Hours(pub f64);
+
+impl fmt::Display for Hours {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} h", self.0)
+    }
+}
+
+/// Time in picoseconds (gate/path delays).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Picoseconds(pub f64);
+
+impl fmt::Display for Picoseconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ps", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volt_conversions() {
+        assert_eq!(Volt(0.55).to_millivolts(), 550.0);
+        assert_eq!(Volt::from_millivolts(550.0), Volt(0.55));
+        assert_eq!(Volt(0.5) + Volt(0.05), Volt(0.55));
+        assert!((Volt(0.6) - Volt(0.05)).0 - 0.55 < 1e-12);
+    }
+
+    #[test]
+    fn celsius_to_kelvin() {
+        assert!((Celsius(25.0).to_kelvin() - 298.15).abs() < 1e-12);
+        assert!((Celsius(-45.0).to_kelvin() - 228.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Volt(0.55).to_string(), "0.5500 V");
+        assert_eq!(Celsius(125.0).to_string(), "125.0 °C");
+        assert_eq!(Hours(1008.0).to_string(), "1008 h");
+        assert_eq!(Picoseconds(12.345).to_string(), "12.35 ps");
+    }
+
+    #[test]
+    fn ordering_works() {
+        assert!(Volt(0.5) < Volt(0.6));
+        assert!(Celsius(-45.0) < Celsius(25.0));
+        assert!(Hours(24.0) < Hours(1008.0));
+    }
+}

@@ -1,0 +1,290 @@
+//! SCAN Vmin extraction.
+//!
+//! The minimum operating voltage of a chip at a given temperature and stress
+//! time is the lowest supply at which every critical path still meets the
+//! clock period. Two extraction procedures are provided:
+//!
+//! - [`VminTester::vmin_exact`]: bisection on the worst path delay — the
+//!   "true" underlying Vmin of the silicon.
+//! - [`VminTester::vmin_shmoo`]: the conventional ATE flow, stepping the
+//!   supply down from a high voltage until the pattern fails, which
+//!   quantizes Vmin to the shmoo step (§I of the paper describes this flow
+//!   and its cost).
+//!
+//! Both add Gaussian repeatability noise, mirroring tester reproducibility.
+
+use crate::chip::Chip;
+use crate::config::VminTestSpec;
+use crate::device::DeviceParams;
+use crate::sampling::normal;
+use crate::units::{Celsius, Hours, Picoseconds, Volt};
+use rand::Rng;
+
+/// SCAN Vmin measurement engine with a fixed clock period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VminTester {
+    spec: VminTestSpec,
+    /// Target clock period every path must meet (ps).
+    clock_period: Picoseconds,
+}
+
+impl VminTester {
+    /// Calibrates the tester clock period so that a *nominal* chip's worst
+    /// path exactly meets timing at the spec's calibration voltage and
+    /// temperature.
+    ///
+    /// `reference` should be a typical (non-defective) chip; in the test-flow
+    /// driver we synthesize a dedicated nominal chip for this purpose.
+    pub fn calibrated(spec: VminTestSpec, reference: &Chip) -> Self {
+        // The core sees the pad voltage minus the reference chip's IR drop,
+        // so calibration bakes power delivery into the clock period.
+        let nominal_leak = DeviceParams::default()
+            .leakage(spec.calibration_voltage, spec.calibration_temperature)
+            .max(1e-12);
+        let relative = reference.chip_leakage(
+            spec.calibration_voltage,
+            spec.calibration_temperature,
+            Hours(0.0),
+        ) / nominal_leak;
+        let v_core = Volt(spec.calibration_voltage.0 - spec.ir_drop_per_leakage.0 * relative);
+        let d = reference
+            .worst_path_delay(v_core, spec.calibration_temperature, Hours(0.0))
+            .expect("calibration voltage must be above threshold for the reference chip");
+        VminTester {
+            spec,
+            clock_period: d,
+        }
+    }
+
+    /// Creates a tester with an explicit clock period (ps).
+    pub fn with_clock_period(spec: VminTestSpec, clock_period: Picoseconds) -> Self {
+        VminTester { spec, clock_period }
+    }
+
+    /// The calibrated clock period.
+    pub fn clock_period(&self) -> Picoseconds {
+        self.clock_period
+    }
+
+    /// Borrow of the test spec.
+    pub fn spec(&self) -> &VminTestSpec {
+        &self.spec
+    }
+
+    /// Core supply droop from power-delivery IR drop at pad voltage `v`:
+    /// proportional to the chip's leakage relative to a nominal device at
+    /// the same conditions. Delay monitors run at a forced core voltage and
+    /// never see this term; IDDQ-style parametric tests measure the current
+    /// that causes it.
+    pub fn ir_drop(&self, chip: &Chip, v: Volt, temp: Celsius, t: Hours) -> Volt {
+        let nominal = DeviceParams::default().leakage(v, temp).max(1e-12);
+        let relative = chip.chip_leakage(v, temp, t) / nominal;
+        Volt(self.spec.ir_drop_per_leakage.0 * relative)
+    }
+
+    /// True whether the chip passes SCAN at pad supply `v` (the core sees
+    /// `v` minus the chip's IR drop).
+    pub fn passes(&self, chip: &Chip, v: Volt, temp: Celsius, t: Hours) -> bool {
+        let v_core = Volt(v.0 - self.ir_drop(chip, v, temp, t).0);
+        match chip.worst_path_delay(v_core, temp, t) {
+            Some(d) => d.0 <= self.clock_period.0,
+            None => false,
+        }
+    }
+
+    /// Noise-free Vmin by bisection, or `None` when the chip fails even at
+    /// the top of the search window (a gross outlier).
+    pub fn vmin_noiseless(&self, chip: &Chip, temp: Celsius, t: Hours) -> Option<Volt> {
+        let mut hi = self.spec.search_high.0;
+        let mut lo = self.spec.search_low.0;
+        if !self.passes(chip, Volt(hi), temp, t) {
+            return None;
+        }
+        if self.passes(chip, Volt(lo), temp, t) {
+            return Some(Volt(lo));
+        }
+        // Invariant: fails at lo, passes at hi.
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.passes(chip, Volt(mid), temp, t) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(Volt(hi))
+    }
+
+    /// Measured Vmin with tester repeatability noise (bisection-based).
+    ///
+    /// Returns `None` for chips failing at the search ceiling.
+    pub fn vmin_exact<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        chip: &Chip,
+        temp: Celsius,
+        t: Hours,
+    ) -> Option<Volt> {
+        let v = self.vmin_noiseless(chip, temp, t)?;
+        Some(Volt(v.0 + normal(rng, 0.0, self.spec.measurement_noise)))
+    }
+
+    /// Conventional ATE shmoo: step the supply down from `search_high` in
+    /// `shmoo_step` decrements until the pattern fails; Vmin is the last
+    /// passing voltage. Returns the number of test evaluations alongside the
+    /// result, demonstrating why the conventional flow is slow (§I).
+    ///
+    /// Returns `None` when the chip fails at the very first (highest) step.
+    pub fn vmin_shmoo<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        chip: &Chip,
+        temp: Celsius,
+        t: Hours,
+    ) -> Option<(Volt, usize)> {
+        let mut v = self.spec.search_high.0;
+        let mut evaluations = 0usize;
+        let mut last_pass: Option<f64> = None;
+        while v >= self.spec.search_low.0 - 1e-12 {
+            evaluations += 1;
+            if self.passes(chip, Volt(v), temp, t) {
+                last_pass = Some(v);
+            } else {
+                break;
+            }
+            v -= self.spec.shmoo_step.0;
+        }
+        last_pass.map(|lp| {
+            let noisy = lp + normal(rng, 0.0, self.spec.measurement_noise);
+            (Volt(noisy), evaluations)
+        })
+    }
+
+    /// True when a measured Vmin violates the product min-spec.
+    pub fn violates_spec(&self, vmin: Volt) -> bool {
+        vmin > self.spec.min_spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipFactory;
+    use crate::config::DatasetSpec;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Vec<Chip>, VminTester) {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let spec = DatasetSpec::small();
+        let chips = ChipFactory::new(spec.clone()).fabricate(&mut rng);
+        // Calibrate against the median chip of the population.
+        let tester = VminTester::calibrated(spec.vmin_test.clone(), &chips[0]);
+        (chips, tester)
+    }
+
+    #[test]
+    fn vmin_is_bracketed_by_search_window() {
+        let (chips, tester) = setup();
+        for chip in &chips {
+            let v = tester
+                .vmin_noiseless(chip, Celsius(25.0), Hours(0.0))
+                .expect("healthy chip should have a Vmin");
+            assert!(v.0 >= tester.spec().search_low.0);
+            assert!(v.0 <= tester.spec().search_high.0);
+        }
+    }
+
+    #[test]
+    fn vmin_is_the_pass_fail_boundary() {
+        let (chips, tester) = setup();
+        let chip = &chips[3];
+        let v = tester.vmin_noiseless(chip, Celsius(25.0), Hours(0.0)).unwrap();
+        assert!(tester.passes(chip, Volt(v.0 + 0.002), Celsius(25.0), Hours(0.0)));
+        assert!(!tester.passes(chip, Volt(v.0 - 0.002), Celsius(25.0), Hours(0.0)));
+    }
+
+    #[test]
+    fn vmin_increases_with_aging() {
+        let (chips, tester) = setup();
+        let mut grew = 0;
+        for chip in chips.iter().take(10) {
+            let v0 = tester.vmin_noiseless(chip, Celsius(25.0), Hours(0.0)).unwrap();
+            let v1 = tester
+                .vmin_noiseless(chip, Celsius(25.0), Hours(1008.0))
+                .unwrap();
+            assert!(v1.0 >= v0.0 - 1e-9, "aging cannot improve Vmin");
+            if v1.0 > v0.0 + 0.002 {
+                grew += 1;
+            }
+        }
+        assert!(grew >= 8, "most chips should degrade measurably, got {grew}/10");
+    }
+
+    #[test]
+    fn cold_is_the_worst_corner() {
+        // Temperature inversion at low VDD: −45 °C Vmin ≥ 125 °C Vmin for
+        // most chips (matches the paper's hardest corner).
+        let (chips, tester) = setup();
+        let mut cold_worse = 0;
+        for chip in chips.iter().take(20) {
+            let vc = tester.vmin_noiseless(chip, Celsius(-45.0), Hours(0.0)).unwrap();
+            let vh = tester.vmin_noiseless(chip, Celsius(125.0), Hours(0.0)).unwrap();
+            if vc.0 > vh.0 {
+                cold_worse += 1;
+            }
+        }
+        assert!(cold_worse >= 15, "cold should dominate, got {cold_worse}/20");
+    }
+
+    #[test]
+    fn shmoo_agrees_with_bisection_within_step() {
+        let (chips, tester) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for chip in chips.iter().take(10) {
+            let exact = tester.vmin_noiseless(chip, Celsius(25.0), Hours(0.0)).unwrap();
+            let (shmoo, evals) = tester
+                .vmin_shmoo(&mut rng, chip, Celsius(25.0), Hours(0.0))
+                .unwrap();
+            // Shmoo reports the last passing step, which is within one step
+            // above the exact boundary (plus measurement noise ~1.5 mV).
+            assert!(
+                (shmoo.0 - exact.0).abs() < tester.spec().shmoo_step.0 + 0.01,
+                "shmoo {} vs exact {}",
+                shmoo.0,
+                exact.0
+            );
+            // The conventional flow takes many evaluations — this is the
+            // cost the ML predictor avoids.
+            assert!(evals > 50, "expected a long shmoo, got {evals} evaluations");
+        }
+    }
+
+    #[test]
+    fn measurement_noise_perturbs_repeat_reads() {
+        let (chips, tester) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = tester.vmin_exact(&mut rng, &chips[0], Celsius(25.0), Hours(0.0)).unwrap();
+        let b = tester.vmin_exact(&mut rng, &chips[0], Celsius(25.0), Hours(0.0)).unwrap();
+        assert_ne!(a, b, "repeat measurements should differ by noise");
+        assert!((a.0 - b.0).abs() < 0.02, "but only slightly");
+    }
+
+    #[test]
+    fn spec_violation_flag() {
+        let (_, tester) = setup();
+        assert!(tester.violates_spec(Volt(0.75)));
+        assert!(!tester.violates_spec(Volt(0.55)));
+    }
+
+    #[test]
+    fn vmin_values_are_plausible_for_the_node() {
+        let (chips, tester) = setup();
+        let v = tester.vmin_noiseless(&chips[0], Celsius(25.0), Hours(0.0)).unwrap();
+        assert!(
+            v.0 > 0.40 && v.0 < 0.70,
+            "25 °C time-0 Vmin should be mid-hundreds of mV, got {}",
+            v.0
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests on the silicon substrate's physical invariants.
+
+use proptest::prelude::*;
+use vmin_silicon::{
+    AgingModel, AgingSpec, Celsius, DatasetSpec, DeviceParams, Hours, StressSpec, Volt,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Gate delay is strictly decreasing in supply voltage above threshold.
+    #[test]
+    fn delay_monotone_in_voltage(
+        vth_mv in 250.0f64..350.0,
+        v1_mv in 450.0f64..900.0,
+        dv_mv in 10.0f64..100.0,
+        temp in -45.0f64..125.0,
+    ) {
+        let dev = DeviceParams { vth25: Volt(vth_mv / 1000.0), ..DeviceParams::default() };
+        let t = Celsius(temp);
+        let lo = dev.gate_delay(Volt(v1_mv / 1000.0), t);
+        let hi = dev.gate_delay(Volt((v1_mv + dv_mv) / 1000.0), t);
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            prop_assert!(hi.0 < lo.0, "delay must fall with supply: {} vs {}", hi.0, lo.0);
+        }
+    }
+
+    /// Delay is strictly increasing in threshold voltage.
+    #[test]
+    fn delay_monotone_in_vth(
+        vth_mv in 250.0f64..330.0,
+        dvth_mv in 5.0f64..40.0,
+        v_mv in 500.0f64..900.0,
+    ) {
+        let base = DeviceParams { vth25: Volt(vth_mv / 1000.0), ..DeviceParams::default() };
+        let shifted = DeviceParams { vth25: Volt((vth_mv + dvth_mv) / 1000.0), ..base };
+        let t = Celsius(25.0);
+        let d0 = base.gate_delay(Volt(v_mv / 1000.0), t).unwrap();
+        let d1 = shifted.gate_delay(Volt(v_mv / 1000.0), t).unwrap();
+        prop_assert!(d1.0 > d0.0);
+    }
+
+    /// Leakage falls with threshold voltage and rises with temperature.
+    #[test]
+    fn leakage_orderings(
+        vth_mv in 260.0f64..340.0,
+        t1 in -45.0f64..100.0,
+        dt in 5.0f64..25.0,
+    ) {
+        let dev = DeviceParams { vth25: Volt(vth_mv / 1000.0), ..DeviceParams::default() };
+        let leakier = DeviceParams { vth25: Volt((vth_mv - 10.0) / 1000.0), ..dev };
+        let v = Volt(0.75);
+        prop_assert!(leakier.leakage(v, Celsius(t1)) > dev.leakage(v, Celsius(t1)));
+        prop_assert!(dev.leakage(v, Celsius(t1 + dt)) > dev.leakage(v, Celsius(t1)));
+    }
+
+    /// ΔVth from aging is non-negative, monotone in time, and scales
+    /// monotonically with the chip rate.
+    #[test]
+    fn aging_invariants(
+        t1 in 1.0f64..500.0,
+        dt in 1.0f64..508.0,
+        rate in 0.3f64..3.0,
+    ) {
+        let m = AgingModel::new(AgingSpec::default(), StressSpec::default(), rate);
+        let a = m.delta_vth(Hours(t1), 1.0);
+        let b = m.delta_vth(Hours(t1 + dt), 1.0);
+        prop_assert!(a.0 >= 0.0);
+        prop_assert!(b.0 > a.0);
+        let faster = AgingModel::new(AgingSpec::default(), StressSpec::default(), rate * 1.5);
+        prop_assert!(faster.delta_vth(Hours(t1), 1.0).0 > a.0);
+    }
+
+    /// Power-law sublinearity: ΔVth(2t) < 2·ΔVth(t) for NBTI-dominated decay.
+    #[test]
+    fn aging_sublinear(t in 10.0f64..504.0) {
+        let m = AgingModel::new(AgingSpec::default(), StressSpec::default(), 1.0);
+        prop_assert!(m.nbti(Hours(2.0 * t)).0 < 2.0 * m.nbti(Hours(t)).0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seed yields a structurally valid campaign with finite data.
+    #[test]
+    fn campaign_always_well_formed(seed in 0u64..10_000) {
+        let mut spec = DatasetSpec::small();
+        spec.chip_count = 12;
+        spec.paths_per_chip = 4;
+        let c = vmin_silicon::Campaign::run(&spec, seed);
+        prop_assert_eq!(c.chips.len(), 12);
+        for chip in &c.chips {
+            for rp in &chip.vmin_mv {
+                for &v in rp {
+                    prop_assert!(v.is_finite());
+                    prop_assert!(v > 300.0 && v < 950.0, "Vmin {v} mV out of band");
+                }
+            }
+            for reads in chip.rod.iter().chain(&chip.cpd) {
+                prop_assert!(reads.iter().all(|x| x.is_finite() && *x > 0.0));
+            }
+            prop_assert!(chip.parametric.iter().all(|x| x.is_finite() && *x > 0.0));
+        }
+    }
+}

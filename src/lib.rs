@@ -1,0 +1,48 @@
+//! # cqr-vmin
+//!
+//! Reliable interval prediction of minimum operating voltage (Vmin) via
+//! conformalized quantile regression (CQR) and on-chip monitors — a Rust
+//! reproduction of Yin, Wang, Chen, He & Li (DATE 2024).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! - [`silicon`]: physics-inspired synthetic-chip / burn-in / ATE simulator
+//!   (replaces the paper's proprietary 156-chip dataset).
+//! - [`linalg`]: dense linear-algebra substrate.
+//! - [`data`]: dataset handling, CV splits, CFS feature selection, metrics.
+//! - [`models`]: LR, quantile LR, GP, XGBoost-style and CatBoost-style
+//!   boosting, MLP — all with point and pinball-loss modes.
+//! - [`conformal`]: split CP, CQR and extensions with coverage guarantees.
+//! - [`core`]: the paper's prediction framework, experiment drivers and the
+//!   deployable [`core::VminPredictor`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cqr_vmin::core::{assemble_dataset, FeatureSet, ModelConfig,
+//!                      PointModel, RegionMethod, VminPredictor};
+//! use cqr_vmin::silicon::{Campaign, DatasetSpec};
+//!
+//! // Simulate a burn-in campaign (paper scale: DatasetSpec::default()).
+//! let campaign = Campaign::run(&DatasetSpec::small(), 42);
+//! // Train a CQR CatBoost 90% interval predictor for time-0 Vmin at 25 °C.
+//! let dataset = assemble_dataset(&campaign, 0, 1, FeatureSet::Both)?;
+//! let predictor = VminPredictor::fit(
+//!     &dataset,
+//!     RegionMethod::Cqr(PointModel::CatBoost),
+//!     0.1,
+//!     0.25,
+//!     7,
+//!     &ModelConfig::fast(),
+//! )?;
+//! let interval = predictor.interval(dataset.sample(0))?;
+//! println!("Vmin ∈ {interval} mV");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use vmin_conformal as conformal;
+pub use vmin_core as core;
+pub use vmin_data as data;
+pub use vmin_linalg as linalg;
+pub use vmin_models as models;
+pub use vmin_silicon as silicon;

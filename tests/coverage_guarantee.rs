@@ -1,0 +1,212 @@
+//! Table I, demonstrated: the properties the paper tabulates for each
+//! uncertainty-quantification method, verified empirically across
+//! distribution shapes — the "distribution-free coverage guarantee" row in
+//! particular.
+
+use cqr_vmin::conformal::{evaluate_intervals, Cqr, CqrAsymmetric, PredictionInterval, SplitConformal};
+use cqr_vmin::linalg::Matrix;
+use cqr_vmin::models::{Ensemble, LinearRegression, QuantileLinear, Regressor};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Families of noise distributions — the guarantee must hold for all of
+/// them without modification (distribution-freeness).
+#[derive(Clone, Copy, Debug)]
+enum Noise {
+    Uniform,
+    /// Heavy-tailed: Student-t-like via ratio of normals.
+    HeavyTail,
+    /// Asymmetric: exponential.
+    Skewed,
+    /// Heteroscedastic uniform.
+    Hetero,
+}
+
+fn draw(n: usize, noise: Noise, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: f64 = rng.gen_range(0.0..4.0);
+        let eps = match noise {
+            Noise::Uniform => rng.gen_range(-1.0..1.0),
+            Noise::HeavyTail => {
+                let a: f64 = rng.gen_range(-1.0..1.0f64);
+                let b: f64 = rng.gen_range(0.3..1.0);
+                (a / b).clamp(-8.0, 8.0)
+            }
+            Noise::Skewed => -(1.0 - rng.gen::<f64>()).ln() - 1.0,
+            Noise::Hetero => (0.2 + x) * rng.gen_range(-1.0..1.0),
+        };
+        rows.push(vec![x]);
+        y.push(3.0 * x + eps);
+    }
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn average_coverage<F>(noise: Noise, reps: u64, mut one_run: F) -> f64
+where
+    F: FnMut(Noise, u64) -> f64,
+{
+    (0..reps).map(|s| one_run(noise, s * 3001 + 5)).sum::<f64>() / reps as f64
+}
+
+fn cqr_run(noise: Noise, seed: u64) -> f64 {
+    let (x_tr, y_tr) = draw(70, noise, seed);
+    let (x_ca, y_ca) = draw(40, noise, seed + 1);
+    let (x_te, y_te) = draw(60, noise, seed + 2);
+    let mut cqr = Cqr::new(
+        QuantileLinear::new(0.1).with_training(300, 0.02),
+        QuantileLinear::new(0.9).with_training(300, 0.02),
+        0.2,
+    );
+    cqr.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+    evaluate_intervals(&cqr.predict_intervals(&x_te).unwrap(), &y_te).coverage
+}
+
+fn split_cp_run(noise: Noise, seed: u64) -> f64 {
+    let (x_tr, y_tr) = draw(70, noise, seed);
+    let (x_ca, y_ca) = draw(40, noise, seed + 1);
+    let (x_te, y_te) = draw(60, noise, seed + 2);
+    let mut cp = SplitConformal::new(LinearRegression::new(), 0.2);
+    cp.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+    evaluate_intervals(&cp.predict_intervals(&x_te).unwrap(), &y_te).coverage
+}
+
+fn raw_qr_run(noise: Noise, seed: u64) -> f64 {
+    // Deliberately small training set: raw QR's training-data coverage does
+    // not transfer to test data (Table I: "coverage guarantee for test
+    // data" = ✗ for QR).
+    let (x_tr, y_tr) = draw(20, noise, seed);
+    let (x_te, y_te) = draw(60, noise, seed + 2);
+    let mut lo = QuantileLinear::new(0.1).with_training(300, 0.02);
+    let mut hi = QuantileLinear::new(0.9).with_training(300, 0.02);
+    lo.fit(&x_tr, &y_tr).unwrap();
+    hi.fit(&x_tr, &y_tr).unwrap();
+    let ivs: Vec<PredictionInterval> = (0..x_te.rows())
+        .map(|i| {
+            PredictionInterval::new(
+                lo.predict_row(x_te.row(i)).unwrap(),
+                hi.predict_row(x_te.row(i)).unwrap(),
+            )
+        })
+        .collect();
+    evaluate_intervals(&ivs, &y_te).coverage
+}
+
+#[test]
+fn cqr_guarantee_holds_across_distributions() {
+    for noise in [Noise::Uniform, Noise::HeavyTail, Noise::Skewed, Noise::Hetero] {
+        let cov = average_coverage(noise, 12, cqr_run);
+        assert!(
+            cov >= 0.8 - 0.06,
+            "{noise:?}: CQR average coverage {cov:.3} below 1−α tolerance"
+        );
+    }
+}
+
+#[test]
+fn split_cp_guarantee_holds_across_distributions() {
+    for noise in [Noise::Uniform, Noise::HeavyTail, Noise::Skewed, Noise::Hetero] {
+        let cov = average_coverage(noise, 12, split_cp_run);
+        assert!(
+            cov >= 0.8 - 0.06,
+            "{noise:?}: split CP average coverage {cov:.3} below tolerance"
+        );
+    }
+}
+
+#[test]
+fn raw_qr_has_no_test_coverage_guarantee() {
+    // At least one distribution family must show material undercoverage —
+    // this is precisely why the paper conformalizes.
+    let mut worst = 1.0f64;
+    for noise in [Noise::Uniform, Noise::HeavyTail, Noise::Skewed, Noise::Hetero] {
+        worst = worst.min(average_coverage(noise, 12, raw_qr_run));
+    }
+    assert!(
+        worst < 0.8,
+        "raw QR unexpectedly met the target everywhere (worst {worst:.3}); \
+         the no-guarantee row of Table I should be demonstrable"
+    );
+}
+
+fn ensemble_run(noise: Noise, seed: u64) -> f64 {
+    // Table I "Ensemble" row: bootstrap ensemble with Gaussian intervals —
+    // distribution-free in training but no test-data coverage guarantee.
+    let (x_tr, y_tr) = draw(110, noise, seed);
+    let (x_te, y_te) = draw(60, noise, seed + 2);
+    let mut ens = Ensemble::new(|| Box::new(LinearRegression::new()), 10, seed);
+    ens.fit(&x_tr, &y_tr).unwrap();
+    let ivs: Vec<PredictionInterval> = (0..x_te.rows())
+        .map(|i| {
+            let (lo, hi) = ens.predict_interval(x_te.row(i), 0.2).unwrap();
+            PredictionInterval::new(lo, hi)
+        })
+        .collect();
+    evaluate_intervals(&ivs, &y_te).coverage
+}
+
+#[test]
+fn ensemble_has_no_coverage_guarantee() {
+    // The Gaussian-interval assumption breaks on at least one distribution
+    // family (heavy tails in particular) — the ✗ in Table I's third row.
+    let mut worst = 1.0f64;
+    for noise in [Noise::Uniform, Noise::HeavyTail, Noise::Skewed, Noise::Hetero] {
+        worst = worst.min(average_coverage(noise, 12, ensemble_run));
+    }
+    assert!(
+        worst < 0.8,
+        "ensemble intervals unexpectedly met the target everywhere (worst {worst:.3})"
+    );
+}
+
+#[test]
+fn asymmetric_cqr_also_carries_the_guarantee() {
+    for noise in [Noise::Uniform, Noise::HeavyTail, Noise::Skewed, Noise::Hetero] {
+        let cov = average_coverage(noise, 12, |noise, seed| {
+            let (x_tr, y_tr) = draw(70, noise, seed);
+            let (x_ca, y_ca) = draw(40, noise, seed + 1);
+            let (x_te, y_te) = draw(60, noise, seed + 2);
+            let mut cqr = CqrAsymmetric::new(
+                QuantileLinear::new(0.1).with_training(300, 0.02),
+                QuantileLinear::new(0.9).with_training(300, 0.02),
+                0.2,
+            );
+            cqr.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+            evaluate_intervals(&cqr.predict_intervals(&x_te).unwrap(), &y_te).coverage
+        });
+        assert!(
+            cov >= 0.8 - 0.06,
+            "{noise:?}: asymmetric CQR average coverage {cov:.3} below tolerance"
+        );
+    }
+}
+
+#[test]
+fn cqr_adapts_but_split_cp_does_not() {
+    // Table I "adaptation to heteroscedasticity": CQR ✓, CP ✗.
+    let (x_tr, y_tr) = draw(150, Noise::Hetero, 1);
+    let (x_ca, y_ca) = draw(80, Noise::Hetero, 2);
+    let mut cqr = Cqr::new(
+        QuantileLinear::new(0.1).with_training(400, 0.02),
+        QuantileLinear::new(0.9).with_training(400, 0.02),
+        0.2,
+    );
+    cqr.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+    let mut cp = SplitConformal::new(LinearRegression::new(), 0.2);
+    cp.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+
+    let w = |iv: PredictionInterval| iv.length();
+    let cqr_ratio = w(cqr.predict_interval(&[3.9]).unwrap()) / w(cqr.predict_interval(&[0.1]).unwrap());
+    let cp_ratio = w(cp.predict_interval(&[3.9]).unwrap()) / w(cp.predict_interval(&[0.1]).unwrap());
+    assert!(
+        cqr_ratio > 1.5,
+        "CQR width should grow with the noise (ratio {cqr_ratio:.2})"
+    );
+    assert!(
+        (cp_ratio - 1.0).abs() < 1e-9,
+        "split CP width must be constant (ratio {cp_ratio:.2})"
+    );
+}

@@ -1,0 +1,175 @@
+//! Failure-injection tests: degenerate, hostile and boundary inputs must
+//! surface as typed errors (or documented panics), never as silent garbage.
+
+use cqr_vmin::conformal::{conformal_quantile, Cqr, SplitConformal};
+use cqr_vmin::core::{ModelConfig, PointModel, RegionMethod, VminPredictor};
+use cqr_vmin::data::{Dataset, Standardizer};
+use cqr_vmin::linalg::{lstsq, Cholesky, Matrix};
+use cqr_vmin::models::{
+    GaussianProcess, GradientBoost, LinearRegression, Loss, NeuralNet, ObliviousBoost,
+    QuantileLinear, Regressor,
+};
+
+fn tiny_xy() -> (Matrix, Vec<f64>) {
+    let x = Matrix::from_rows(&(0..12).map(|i| vec![i as f64]).collect::<Vec<_>>()).unwrap();
+    let y: Vec<f64> = (0..12).map(|i| i as f64).collect();
+    (x, y)
+}
+
+#[test]
+fn nan_targets_are_rejected_by_every_model() {
+    let (x, mut y) = tiny_xy();
+    y[3] = f64::NAN;
+    let models: Vec<Box<dyn Regressor>> = vec![
+        Box::new(LinearRegression::new()),
+        Box::new(QuantileLinear::new(0.5)),
+        Box::new(GaussianProcess::new()),
+        Box::new(GradientBoost::new(Loss::Squared)),
+        Box::new(ObliviousBoost::new(Loss::Squared)),
+        Box::new(NeuralNet::new(Loss::Squared)),
+    ];
+    for mut m in models {
+        assert!(
+            m.fit(&x, &y).is_err(),
+            "{m:?} accepted a NaN target"
+        );
+    }
+}
+
+#[test]
+fn empty_and_mismatched_training_sets_are_rejected() {
+    let empty = Matrix::zeros(0, 3);
+    let mut lr = LinearRegression::new();
+    assert!(lr.fit(&empty, &[]).is_err());
+    let (x, _) = tiny_xy();
+    assert!(lr.fit(&x, &[1.0, 2.0]).is_err());
+}
+
+#[test]
+fn constant_features_do_not_break_the_pipeline() {
+    // All-constant feature matrix: standardizer must not divide by zero,
+    // models must still fit (predicting ~the mean).
+    let x = Matrix::from_rows(&vec![vec![7.0, 7.0]; 20]).unwrap();
+    let y: Vec<f64> = (0..20).map(|i| 100.0 + i as f64).collect();
+    let s = Standardizer::fit(&x);
+    let z = s.transform(&x).unwrap();
+    assert!(z.as_slice().iter().all(|v| v.is_finite()));
+    let mut lr = LinearRegression::new();
+    lr.fit(&z, &y).unwrap();
+    let p = lr.predict_row(&[0.0, 0.0]).unwrap();
+    assert!((p - 109.5).abs() < 1.0, "constant features → mean prediction, got {p}");
+}
+
+#[test]
+fn singular_systems_surface_as_errors_not_garbage() {
+    // Exactly collinear columns through raw lstsq must error (the
+    // LinearRegression wrapper falls back to ridge, tested elsewhere).
+    let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+    assert!(lstsq(&x, &[1.0, 2.0, 3.0]).is_err());
+    // Indefinite matrix through Cholesky must error.
+    let bad = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+    assert!(Cholesky::factor(&bad).is_err());
+}
+
+#[test]
+fn conformal_rejects_degenerate_calibration() {
+    assert!(conformal_quantile(&[], 0.1).is_err());
+    assert!(conformal_quantile(&[1.0, f64::NAN], 0.1).is_err());
+    assert!(conformal_quantile(&[1.0], -0.1).is_err());
+
+    let (x, y) = tiny_xy();
+    let mut cp = SplitConformal::new(LinearRegression::new(), 0.1);
+    assert!(cp.fit_calibrate(&x, &y, &Matrix::zeros(0, 1), &[]).is_err());
+
+    let mut cqr = Cqr::new(QuantileLinear::new(0.05), QuantileLinear::new(0.95), 0.1);
+    assert!(cqr
+        .fit_calibrate(&x, &y, &x, &y[..5])
+        .is_err());
+}
+
+#[test]
+fn undersized_calibration_yields_infinite_but_valid_intervals() {
+    // 4 calibration points at α = 0.1 < min_calibration_size(0.1) = 9:
+    // the guarantee forces the whole line. The pipeline must not panic and
+    // the interval must (trivially) cover.
+    let (x, y) = tiny_xy();
+    let mut cp = SplitConformal::new(LinearRegression::new(), 0.1);
+    cp.fit_calibrate(&x, &y, &x.select_rows(&[0, 1, 2, 3]).unwrap(), &y[..4])
+        .unwrap();
+    let iv = cp.predict_interval(&[5.0]).unwrap();
+    assert!(iv.length().is_infinite());
+    assert!(iv.contains(1e12));
+}
+
+#[test]
+fn predictor_rejects_malformed_rows() {
+    let x = Matrix::from_rows(
+        &(0..40)
+            .map(|i| vec![i as f64, (i * i) as f64, 1.0])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let y: Vec<f64> = (0..40).map(|i| 500.0 + i as f64).collect();
+    let ds = Dataset::with_default_names(x, y).unwrap();
+    let p = VminPredictor::fit(
+        &ds,
+        RegionMethod::Cqr(PointModel::Linear),
+        0.2,
+        0.4,
+        1,
+        &ModelConfig::fast(),
+    )
+    .unwrap();
+    // Wrong row width must error, not panic.
+    assert!(p.interval(&[1.0]).is_err());
+    assert!(p.interval(&[1.0, 2.0, 3.0, 4.0]).is_err());
+}
+
+#[test]
+fn invalid_alphas_rejected_everywhere() {
+    let (x, y) = tiny_xy();
+    for alpha in [0.0, 1.0, -0.5, 2.0, f64::NAN] {
+        let mut cp = SplitConformal::new(LinearRegression::new(), alpha);
+        assert!(cp.fit_calibrate(&x, &y, &x, &y).is_err(), "split CP took α={alpha}");
+        let ds = Dataset::with_default_names(x.clone(), y.clone()).unwrap();
+        assert!(
+            VminPredictor::fit(
+                &ds,
+                RegionMethod::Cqr(PointModel::Linear),
+                alpha,
+                0.4,
+                1,
+                &ModelConfig::fast()
+            )
+            .is_err(),
+            "predictor took α={alpha}"
+        );
+    }
+}
+
+#[test]
+fn extreme_feature_magnitudes_stay_finite() {
+    // Features spanning 12 orders of magnitude (like raw IDDQ vs delays):
+    // standardization inside the models must keep everything finite.
+    let x = Matrix::from_rows(
+        &(0..30)
+            .map(|i| vec![i as f64 * 1e-9, i as f64 * 1e6])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let y: Vec<f64> = (0..30).map(|i| 550.0 + (i % 7) as f64).collect();
+    let mut nn = NeuralNet::with_params(
+        Loss::Squared,
+        cqr_vmin::models::NeuralNetParams {
+            epochs: 200,
+            ..Default::default()
+        },
+    );
+    nn.fit(&x, &y).unwrap();
+    let p = nn.predict_row(x.row(3)).unwrap();
+    assert!(p.is_finite(), "NN produced {p}");
+    let mut gp = GaussianProcess::new();
+    gp.fit(&x, &y).unwrap();
+    let (m, s) = gp.predict_with_std(x.row(3)).unwrap();
+    assert!(m.is_finite() && s.is_finite());
+}

@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: simulator → feature assembly → models →
+//! conformal calibration → evaluation, exercised through the facade crate.
+
+use cqr_vmin::core::{
+    assemble_dataset, eval_region_fold, monitor_read_points, run_point_cell, run_region_cell,
+    ExperimentConfig, FeatureSet, ModelConfig, PointModel, RegionMethod, VminPredictor,
+};
+use cqr_vmin::data::{train_test_split, KFold};
+use cqr_vmin::silicon::{Campaign, DatasetSpec};
+
+fn campaign() -> Campaign {
+    Campaign::run(&DatasetSpec::small(), 4242)
+}
+
+#[test]
+fn full_pipeline_time0_point_prediction() {
+    let c = campaign();
+    let cfg = ExperimentConfig::fast();
+    let eval = run_point_cell(&c, 0, 1, PointModel::Linear, FeatureSet::Both, &cfg).unwrap();
+    assert!(eval.r2 > 0.3, "time-0 LR R² = {}", eval.r2);
+    assert!(eval.rmse < 30.0, "time-0 LR RMSE = {} mV", eval.rmse);
+}
+
+#[test]
+fn full_pipeline_region_prediction_all_methods_run() {
+    let c = campaign();
+    let cfg = ExperimentConfig::fast();
+    // Every Table III method must run end-to-end on one cell.
+    for method in RegionMethod::ALL {
+        let eval = run_region_cell(&c, 0, 1, method, FeatureSet::Both, &cfg)
+            .unwrap_or_else(|e| panic!("{method}: {e}"));
+        assert!(
+            eval.mean_length > 0.0 && eval.mean_length.is_finite(),
+            "{method}: length {}",
+            eval.mean_length
+        );
+        assert!((0.0..=1.0).contains(&eval.coverage), "{method}");
+    }
+}
+
+#[test]
+fn cqr_outcoverages_qr_on_average() {
+    // The paper's central claim: conformalizing QR restores coverage.
+    let c = campaign();
+    let cfg = ExperimentConfig::fast();
+    let mut qr_cov = 0.0;
+    let mut cqr_cov = 0.0;
+    let cells = [(0, 0), (0, 1), (0, 2), (2, 1)];
+    for &(rp, t) in &cells {
+        qr_cov += run_region_cell(&c, rp, t, RegionMethod::Qr(PointModel::Linear), FeatureSet::Both, &cfg)
+            .unwrap()
+            .coverage;
+        cqr_cov += run_region_cell(
+            &c,
+            rp,
+            t,
+            RegionMethod::Cqr(PointModel::Linear),
+            FeatureSet::Both,
+            &cfg,
+        )
+        .unwrap()
+        .coverage;
+    }
+    let (qr_cov, cqr_cov) = (qr_cov / cells.len() as f64, cqr_cov / cells.len() as f64);
+    assert!(
+        cqr_cov >= qr_cov - 0.02,
+        "CQR ({cqr_cov:.3}) should not cover less than raw QR ({qr_cov:.3})"
+    );
+    assert!(cqr_cov > 0.8, "CQR coverage {cqr_cov:.3} too far below 1−α");
+}
+
+#[test]
+fn degradation_scenario_never_sees_future_monitors() {
+    let c = campaign();
+    for rp in 1..c.read_points.len() {
+        let pts = monitor_read_points(rp);
+        assert!(pts.iter().all(|&p| p < rp), "read point {rp} leaks");
+        let ds = assemble_dataset(&c, rp, 0, FeatureSet::OnChip).unwrap();
+        let per_rp = c.spec.monitors.rod_count + c.spec.monitors.cpd_count;
+        assert_eq!(ds.n_features(), pts.len() * per_rp);
+    }
+}
+
+#[test]
+fn predictor_is_deterministic_end_to_end() {
+    let c = campaign();
+    let ds = assemble_dataset(&c, 0, 1, FeatureSet::Both).unwrap();
+    let fit = || {
+        VminPredictor::fit(
+            &ds,
+            RegionMethod::Cqr(PointModel::Linear),
+            0.2,
+            0.4,
+            99,
+            &ModelConfig::fast(),
+        )
+        .unwrap()
+    };
+    let a = fit();
+    let b = fit();
+    for i in 0..5 {
+        let ia = a.interval(ds.sample(i)).unwrap();
+        let ib = b.interval(ds.sample(i)).unwrap();
+        assert_eq!(ia.lo(), ib.lo());
+        assert_eq!(ia.hi(), ib.hi());
+    }
+}
+
+#[test]
+fn campaign_seed_changes_everything_downstream() {
+    let a = Campaign::run(&DatasetSpec::small(), 1);
+    let b = Campaign::run(&DatasetSpec::small(), 2);
+    let da = assemble_dataset(&a, 0, 1, FeatureSet::Both).unwrap();
+    let db = assemble_dataset(&b, 0, 1, FeatureSet::Both).unwrap();
+    assert_ne!(da.targets(), db.targets());
+}
+
+#[test]
+fn region_fold_coverage_guarantee_across_seeds() {
+    // Average CQR coverage over several simulated campaigns ≈ ≥ 1 − α.
+    // (The guarantee is marginal; averaging reduces the beta-distributed
+    // per-run noise.)
+    let alpha = 0.2;
+    let mut total = 0.0;
+    let reps = 6;
+    for seed in 0..reps {
+        let c = Campaign::run(&DatasetSpec::small(), seed * 5000 + 17);
+        let ds = assemble_dataset(&c, 0, 1, FeatureSet::Both).unwrap();
+        let kf = KFold::new(ds.n_samples(), 4, seed);
+        let split = kf.split(0);
+        let train = ds.subset_rows(&split.train).unwrap();
+        let test = ds.subset_rows(&split.test).unwrap();
+        let eval = eval_region_fold(
+            RegionMethod::Cqr(PointModel::Linear),
+            &ModelConfig::fast(),
+            &train,
+            &test,
+            alpha,
+            0.4,
+            seed * 31 + 7,
+        )
+        .unwrap();
+        total += eval.coverage;
+    }
+    let avg = total / reps as f64;
+    assert!(
+        avg >= 1.0 - alpha - 0.08,
+        "average CQR coverage {avg:.3} below tolerance for 1−α = {}",
+        1.0 - alpha
+    );
+}
+
+#[test]
+fn spec_screening_flags_worst_chips() {
+    // Chips whose measured Vmin is far above the population should be
+    // flagged against a min-spec placed near the population's upper tail.
+    let c = campaign();
+    let ds = assemble_dataset(&c, 0, 0, FeatureSet::Both).unwrap();
+    let split = train_test_split(ds.n_samples(), 0.8, 3);
+    let train = ds.subset_rows(&split.train).unwrap();
+    let predictor = VminPredictor::fit(
+        &train,
+        RegionMethod::Cqr(PointModel::Linear),
+        0.2,
+        0.4,
+        3,
+        &ModelConfig::fast(),
+    )
+    .unwrap();
+    // min-spec at the 90th percentile of training Vmin.
+    let spec_mv = cqr_vmin::linalg::quantile(train.targets(), 0.9).unwrap();
+    // The chip with the highest true Vmin in the test fold should be at
+    // risk; the chip with the lowest should not.
+    let test = ds.subset_rows(&split.test).unwrap();
+    let hi = (0..test.n_samples())
+        .max_by(|&a, &b| test.targets()[a].partial_cmp(&test.targets()[b]).unwrap())
+        .unwrap();
+    let lo = (0..test.n_samples())
+        .min_by(|&a, &b| test.targets()[a].partial_cmp(&test.targets()[b]).unwrap())
+        .unwrap();
+    if test.targets()[hi] > spec_mv + 5.0 {
+        assert!(
+            predictor.flags_spec_risk(test.sample(hi), spec_mv).unwrap(),
+            "worst chip (Vmin {} vs spec {spec_mv}) not flagged",
+            test.targets()[hi]
+        );
+    }
+    assert!(
+        !predictor
+            .flags_spec_risk(test.sample(lo), spec_mv + 50.0)
+            .unwrap(),
+        "best chip flagged against a generous spec"
+    );
+}
