@@ -9,17 +9,17 @@
 //! (mean length / coverage) are printed once to stderr at startup so the
 //! bench output doubles as the ablation table.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vmin_bench::harness::Criterion;
+use vmin_bench::{criterion_group, criterion_main};
 use vmin_conformal::{
-    evaluate_intervals, Cqr, JackknifePlus, NormalizedConformal, PredictionInterval,
-    SplitConformal,
+    evaluate_intervals, Cqr, JackknifePlus, NormalizedConformal, PredictionInterval, SplitConformal,
 };
 use vmin_data::train_test_split;
 use vmin_linalg::Matrix;
 use vmin_models::{LinearRegression, QuantileLinear, Regressor};
+use vmin_rng::ChaCha8Rng;
+use vmin_rng::Rng;
+use vmin_rng::SeedableRng;
 
 /// Heteroscedastic synthetic data mimicking the Vmin residual structure.
 fn hetero(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
@@ -120,8 +120,10 @@ fn print_a2_table() {
         let (x, y) = hetero(60, seed); // LOO fits: keep n modest
         let (x_te, y_te) = hetero(60, seed + 1000);
         let mut jk = JackknifePlus::new(0.1);
-        jk.fit(&x, &y, || Box::new(LinearRegression::new()) as Box<dyn Regressor>)
-            .unwrap();
+        jk.fit(&x, &y, || {
+            Box::new(LinearRegression::new()) as Box<dyn Regressor>
+        })
+        .unwrap();
         let ivs: Vec<PredictionInterval> = (0..x_te.rows())
             .map(|i| jk.predict_interval(x_te.row(i)).unwrap())
             .collect();
@@ -138,8 +140,10 @@ fn print_a2_table() {
 }
 
 fn bench_ablations(c: &mut Criterion) {
-    print_a1_table();
-    print_a2_table();
+    if c.is_bench_mode() {
+        print_a1_table();
+        print_a2_table();
+    }
 
     let mut group = c.benchmark_group("ablation_runtime");
     group.sample_size(10);
@@ -149,8 +153,10 @@ fn bench_ablations(c: &mut Criterion) {
         let (x, y) = hetero(60, 3);
         b.iter(|| {
             let mut jk = JackknifePlus::new(0.1);
-            jk.fit(&x, &y, || Box::new(LinearRegression::new()) as Box<dyn Regressor>)
-                .unwrap();
+            jk.fit(&x, &y, || {
+                Box::new(LinearRegression::new()) as Box<dyn Regressor>
+            })
+            .unwrap();
         })
     });
     group.finish();

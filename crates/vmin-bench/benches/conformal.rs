@@ -2,13 +2,14 @@
 //! prediction cost — the overhead CQR adds on top of quantile regression
 //! (Table I claims computational efficiency; this measures it).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vmin_bench::harness::Criterion;
+use vmin_bench::{criterion_group, criterion_main};
 use vmin_conformal::{conformal_quantile, Cqr, SplitConformal};
 use vmin_linalg::Matrix;
 use vmin_models::{LinearRegression, QuantileLinear};
+use vmin_rng::ChaCha8Rng;
+use vmin_rng::Rng;
+use vmin_rng::SeedableRng;
 
 fn make_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);

@@ -2,15 +2,16 @@
 //! family at the paper's data scale (117 training chips after one CV fold,
 //! 10 CFS features for the CFS models, wide raw features for the trees).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vmin_bench::harness::{BatchSize, Criterion};
+use vmin_bench::{criterion_group, criterion_main};
 use vmin_linalg::Matrix;
 use vmin_models::{
     GaussianProcess, GradientBoost, LinearRegression, Loss, NeuralNet, NeuralNetParams,
     ObliviousBoost, QuantileLinear, Regressor,
 };
+use vmin_rng::ChaCha8Rng;
+use vmin_rng::Rng;
+use vmin_rng::SeedableRng;
 
 /// Synthetic regression data shaped like a CV fold of the paper's dataset.
 fn make_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>) {
@@ -88,7 +89,9 @@ fn bench_fits(c: &mut Criterion) {
     let mut group = c.benchmark_group("predict");
     let mut gbt = GradientBoost::new(Loss::Squared);
     gbt.fit(&x_wide, &y_wide).unwrap();
-    group.bench_function("gbt_batch_117", |b| b.iter(|| gbt.predict(&x_wide).unwrap()));
+    group.bench_function("gbt_batch_117", |b| {
+        b.iter(|| gbt.predict(&x_wide).unwrap())
+    });
     let mut gp = GaussianProcess::new();
     gp.fit(&x10, &y10).unwrap();
     group.bench_function("gp_with_std_single", |b| {

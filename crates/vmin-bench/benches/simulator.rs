@@ -3,9 +3,10 @@
 //! shmoo flow whose cost motivates ML prediction in §I), and a full small
 //! campaign.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vmin_bench::harness::Criterion;
+use vmin_bench::{criterion_group, criterion_main};
+use vmin_rng::ChaCha8Rng;
+use vmin_rng::SeedableRng;
 use vmin_silicon::{Campaign, Celsius, ChipFactory, DatasetSpec, Hours, VminTester};
 
 fn bench_simulator(c: &mut Criterion) {

@@ -19,7 +19,10 @@ fn main() {
     let scale = Scale::from_args();
     let spec = scale.dataset_spec();
     let cfg = scale.experiment_config();
-    eprintln!("[fig2] scale {scale:?}: simulating {} chips…", spec.chip_count);
+    eprintln!(
+        "[fig2] scale {scale:?}: simulating {} chips…",
+        spec.chip_count
+    );
     let campaign = Campaign::run(&spec, Scale::CAMPAIGN_SEED);
 
     let models = PointModel::ALL;

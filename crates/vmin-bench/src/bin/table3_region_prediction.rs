@@ -36,9 +36,8 @@ fn main() {
         for (mi, &method) in methods.iter().enumerate() {
             let mut row = Vec::new();
             for temp_idx in 0..campaign.temperatures.len() {
-                let eval =
-                    run_region_cell(&campaign, rp, temp_idx, method, FeatureSet::Both, &cfg)
-                        .unwrap_or_else(|e| panic!("cell rp={rp} t={temp_idx} {method}: {e}"));
+                let eval = run_region_cell(&campaign, rp, temp_idx, method, FeatureSet::Both, &cfg)
+                    .unwrap_or_else(|e| panic!("cell rp={rp} t={temp_idx} {method}: {e}"));
                 totals[mi].1 += eval.mean_length;
                 totals[mi].2 += eval.coverage;
                 row.push(eval);

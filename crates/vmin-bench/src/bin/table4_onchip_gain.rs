@@ -56,7 +56,7 @@ fn main() {
     let rows = run_feature_set_study(&campaign, method, &cfg).expect("feature-set study");
     println!();
     println!("{}", format_feature_set_table(&campaign, &rows));
-    let gain = onchip_monitor_gain(&rows);
+    let gain = onchip_monitor_gain(&rows).expect("study covers all three feature sets");
     println!(
         "On-chip monitor gain (average): {:.2}% (paper: 21.01%)",
         gain * 100.0

@@ -1,0 +1,285 @@
+//! A minimal in-tree micro-benchmark harness.
+//!
+//! The workspace must build hermetically with no registry access, so the
+//! bench targets run on this small criterion-compatible shim instead of the
+//! `criterion` crate. It reproduces the slice of the API the benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`] with `iter`/`iter_batched`,
+//! [`BatchSize`], and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! with two execution modes:
+//!
+//! - **bench mode** (`cargo bench`, detected via the `--bench` flag cargo
+//!   passes to bench executables): warm up, time `sample_size` iterations
+//!   and print min/median/mean per benchmark.
+//! - **smoke mode** (everything else, notably `cargo test`, which builds and
+//!   runs bench targets): run each routine exactly once so the target is
+//!   exercised but stays fast.
+//!
+//! `VMIN_BENCH_SAMPLES` overrides the per-benchmark sample count.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped between setup calls. Only a namespace
+/// shim — every variant times one routine call per setup call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per timed iteration.
+    PerIteration,
+}
+
+/// Top-level harness state: execution mode plus a counter for the final
+/// summary line.
+#[derive(Debug)]
+pub struct Criterion {
+    bench_mode: bool,
+    default_samples: usize,
+    completed: usize,
+}
+
+impl Criterion {
+    /// Builds the harness from the process arguments: full timing when
+    /// cargo passed `--bench`, single-pass smoke mode otherwise.
+    pub fn default_from_args() -> Criterion {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        let default_samples = std::env::var("VMIN_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(20);
+        Criterion {
+            bench_mode,
+            default_samples,
+            completed: 0,
+        }
+    }
+
+    /// True when the process was launched by `cargo bench` (full timing);
+    /// false in smoke mode. Lets bench mains skip expensive side tables
+    /// when they are only being smoke-run by `cargo test`.
+    pub fn is_bench_mode(&self) -> bool {
+        self.bench_mode
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        if self.bench_mode {
+            eprintln!("\n== {name} ==");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Prints the run summary (bench mode only).
+    pub fn final_summary(&self) {
+        if self.bench_mode {
+            eprintln!("\n{} benchmarks timed.", self.completed);
+        } else {
+            eprintln!(
+                "{} benchmarks smoke-tested (pass --bench to time).",
+                self.completed
+            );
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size override.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark: the closure drives a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.default_samples);
+        let mut bencher = Bencher {
+            bench_mode: self.criterion.bench_mode,
+            samples,
+            times: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.criterion.bench_mode {
+            bencher.report(&self.name, id);
+        }
+        self.criterion.completed += 1;
+        self
+    }
+
+    /// Ends the group. (Reporting is per-benchmark; this is API parity.)
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing driver handed to each bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    bench_mode: bool,
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples (one warm-up call
+    /// first); in smoke mode runs it exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.bench_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        std::hint::black_box(f()); // warm-up
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter`] but with untimed per-iteration setup.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if !self.bench_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        std::hint::black_box(routine(setup())); // warm-up
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    fn report(&mut self, group: &str, id: &str) {
+        if self.times.is_empty() {
+            eprintln!("{group}/{id}: no samples recorded");
+            return;
+        }
+        self.times.sort_unstable();
+        let min = self.times[0];
+        let median = self.times[self.times.len() / 2];
+        let mean = self.times.iter().sum::<Duration>() / self.times.len() as u32;
+        eprintln!(
+            "{group}/{id}: min {} · median {} · mean {} ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            self.times.len(),
+        );
+    }
+}
+
+/// Human-scale duration formatting (ns/µs/ms/s).
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundles bench functions into a single group function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target from one or more groups declared
+/// with [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_routine_once() {
+        let mut calls = 0usize;
+        let mut b = Bencher {
+            bench_mode: false,
+            samples: 10,
+            times: Vec::new(),
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.times.is_empty());
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut b = Bencher {
+            bench_mode: true,
+            samples: 5,
+            times: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(3 + 4));
+        assert_eq!(b.times.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut setups = 0usize;
+        let mut b = Bencher {
+            bench_mode: true,
+            samples: 4,
+            times: Vec::new(),
+        };
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |x| x * 2,
+            BatchSize::SmallInput,
+        );
+        // One warm-up setup plus one per timed sample.
+        assert_eq!(setups, 5);
+        assert_eq!(b.times.len(), 4);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(15)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

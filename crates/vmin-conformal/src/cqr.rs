@@ -169,10 +169,10 @@ impl<L: Regressor, H: Regressor> Cqr<L, H> {
 mod tests {
     use super::*;
     use crate::interval::evaluate_intervals;
-    use rand::Rng;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vmin_models::QuantileLinear;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::Rng;
+    use vmin_rng::SeedableRng;
 
     /// Strongly heteroscedastic data: noise scale grows 5× across the range.
     fn hetero(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
@@ -270,7 +270,10 @@ mod tests {
             cal_avg >= raw_avg - 0.02,
             "calibration should not reduce coverage: raw {raw_avg} vs cal {cal_avg}"
         );
-        assert!(cal_avg >= 0.78, "calibrated coverage {cal_avg} below target");
+        assert!(
+            cal_avg >= 0.78,
+            "calibrated coverage {cal_avg} below target"
+        );
     }
 
     #[test]

@@ -137,10 +137,10 @@ mod tests {
     use super::*;
     use crate::cqr::Cqr;
     use crate::interval::evaluate_intervals;
-    use rand::Rng;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vmin_models::QuantileLinear;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::Rng;
+    use vmin_rng::SeedableRng;
 
     fn skewed(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);

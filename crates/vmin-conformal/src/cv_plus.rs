@@ -132,10 +132,10 @@ impl CvPlus {
 mod tests {
     use super::*;
     use crate::interval::evaluate_intervals;
-    use rand::Rng;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vmin_models::LinearRegression;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::Rng;
+    use vmin_rng::SeedableRng;
 
     fn data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);

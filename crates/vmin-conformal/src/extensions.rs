@@ -262,9 +262,9 @@ impl JackknifePlus {
         let mut residuals = Vec::with_capacity(n);
         for i in 0..n {
             let keep: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-            let x_loo = x.select_rows(&keep).map_err(|e| {
-                ConformalError::Model(format!("row selection failed: {e}"))
-            })?;
+            let x_loo = x
+                .select_rows(&keep)
+                .map_err(|e| ConformalError::Model(format!("row selection failed: {e}")))?;
             let y_loo: Vec<f64> = keep.iter().map(|&j| y[j]).collect();
             let mut model = factory();
             model.fit(&x_loo, &y_loo)?;
@@ -305,10 +305,10 @@ impl JackknifePlus {
 mod tests {
     use super::*;
     use crate::interval::evaluate_intervals;
-    use rand::Rng;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vmin_models::LinearRegression;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::Rng;
+    use vmin_rng::SeedableRng;
 
     fn hetero(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -399,7 +399,8 @@ mod tests {
             let (x, y) = hetero(60, seed * 13 + 1);
             let (x_te, y_te) = hetero(50, seed * 13 + 2);
             let mut jk = JackknifePlus::new(0.2);
-            jk.fit(&x, &y, || Box::new(LinearRegression::new())).unwrap();
+            jk.fit(&x, &y, || Box::new(LinearRegression::new()))
+                .unwrap();
             let ivs: Vec<PredictionInterval> = (0..x_te.rows())
                 .map(|i| jk.predict_interval(x_te.row(i)).unwrap())
                 .collect();
@@ -417,7 +418,9 @@ mod tests {
             Err(ConformalError::NotCalibrated)
         ));
         let (x, y) = hetero(2, 1);
-        assert!(jk.fit(&x, &y, || Box::new(LinearRegression::new())).is_err());
+        assert!(jk
+            .fit(&x, &y, || Box::new(LinearRegression::new()))
+            .is_err());
         let mc = MondrianConformal::new(LinearRegression::new(), 0.1, 1);
         assert!(mc.predict_interval(&[0.0], 5).is_err());
     }

@@ -12,6 +12,16 @@ pub enum ConformalError {
     Model(String),
     /// Calibration has not happened yet.
     NotCalibrated,
+    /// The guarded-calibration audit found the 1−α guarantee statistically
+    /// untenable on the held-out calibration slice (even after widening),
+    /// or a calibration score was non-finite.
+    CalibrationContaminated {
+        /// Audit-slice empirical coverage of the calibrated band (NaN when
+        /// the contamination was a non-finite score).
+        audit_coverage: f64,
+        /// The minimum coverage the audit required.
+        required: f64,
+    },
 }
 
 impl fmt::Display for ConformalError {
@@ -20,6 +30,14 @@ impl fmt::Display for ConformalError {
             ConformalError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             ConformalError::Model(m) => write!(f, "model failure: {m}"),
             ConformalError::NotCalibrated => write!(f, "predictor has not been calibrated"),
+            ConformalError::CalibrationContaminated {
+                audit_coverage,
+                required,
+            } => write!(
+                f,
+                "calibration contaminated: audit coverage {audit_coverage:.3} \
+                 below required {required:.3} even after widening"
+            ),
         }
     }
 }
@@ -124,8 +142,11 @@ pub fn evaluate_intervals(intervals: &[PredictionInterval], y_true: &[f64]) -> I
         .zip(y_true)
         .filter(|(iv, y)| iv.contains(**y))
         .count();
-    let mean_length =
-        intervals.iter().map(PredictionInterval::length).sum::<f64>() / intervals.len() as f64;
+    let mean_length = intervals
+        .iter()
+        .map(PredictionInterval::length)
+        .sum::<f64>()
+        / intervals.len() as f64;
     IntervalReport {
         coverage: covered as f64 / y_true.len() as f64,
         mean_length,

@@ -41,6 +41,7 @@ mod cqr;
 mod cqr_asymmetric;
 mod cv_plus;
 mod extensions;
+mod guard;
 mod interval;
 mod quantile;
 mod split_cp;
@@ -49,6 +50,9 @@ pub use cqr::Cqr;
 pub use cqr_asymmetric::CqrAsymmetric;
 pub use cv_plus::CvPlus;
 pub use extensions::{JackknifePlus, MondrianConformal, NormalizedConformal};
-pub use interval::{evaluate_intervals, ConformalError, IntervalReport, PredictionInterval, Result};
+pub use guard::{GuardConfig, GuardOutcome, GuardedCqr};
+pub use interval::{
+    evaluate_intervals, ConformalError, IntervalReport, PredictionInterval, Result,
+};
 pub use quantile::{conformal_quantile, min_calibration_size};
 pub use split_cp::SplitConformal;

@@ -133,10 +133,10 @@ impl<R: Regressor> SplitConformal<R> {
 mod tests {
     use super::*;
     use crate::interval::evaluate_intervals;
-    use rand::Rng;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use vmin_models::LinearRegression;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::Rng;
+    use vmin_rng::SeedableRng;
 
     fn linear_noise(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -223,8 +223,6 @@ mod tests {
         let (x, y) = linear_noise(10, 9);
         let mut bad = SplitConformal::new(LinearRegression::new(), 1.5);
         assert!(bad.fit_calibrate(&x, &y, &x, &y).is_err());
-        assert!(cp
-            .fit_calibrate(&x, &y, &Matrix::zeros(0, 1), &[])
-            .is_err());
+        assert!(cp.fit_calibrate(&x, &y, &Matrix::zeros(0, 1), &[]).is_err());
     }
 }

@@ -1,66 +1,92 @@
-//! Property-based tests on the conformal machinery — most importantly a
+//! Property-style tests on the conformal machinery — most importantly a
 //! randomized check of the finite-sample coverage guarantee itself.
+//!
+//! Seeded in-tree randomness replaces the old proptest strategies so the
+//! suite runs hermetically offline; `heavy-tests` multiplies case counts.
 
-use proptest::prelude::*;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use vmin_conformal::{conformal_quantile, min_calibration_size, PredictionInterval};
+use vmin_rng::{ChaCha8Rng, Rng, SeedableRng};
 
-proptest! {
-    /// The conformal quantile is at least as large as ⌈(M+1)(1−α)⌉/(M+1) of
-    /// the empirical mass: at least `rank` of the M scores lie at or below
-    /// it.
-    #[test]
-    fn conformal_quantile_rank_property(
-        scores in proptest::collection::vec(-100.0f64..100.0, 1..80),
-        alpha in 0.05f64..0.5,
-    ) {
+fn cases() -> usize {
+    if cfg!(feature = "heavy-tests") {
+        512
+    } else {
+        64
+    }
+}
+
+fn rand_scores(rng: &mut ChaCha8Rng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// The conformal quantile is at least as large as ⌈(M+1)(1−α)⌉/(M+1) of
+/// the empirical mass: at least `rank` of the M scores lie at or below it.
+#[test]
+fn conformal_quantile_rank_property() {
+    let mut rng = ChaCha8Rng::seed_from_u64(201);
+    for _ in 0..cases() {
+        let m = rng.gen_range(1..80usize);
+        let scores = rand_scores(&mut rng, m, -100.0, 100.0);
+        let alpha = rng.gen_range(0.05..0.5);
         let q = conformal_quantile(&scores, alpha).unwrap();
-        let m = scores.len();
         let rank = ((m as f64 + 1.0) * (1.0 - alpha)).ceil() as usize;
         if rank > m {
-            prop_assert!(q.is_infinite());
+            assert!(q.is_infinite());
         } else {
             let at_or_below = scores.iter().filter(|&&s| s <= q).count();
-            prop_assert!(at_or_below >= rank,
-                "rank {rank} of {m} not reached: {at_or_below} at or below {q}");
+            assert!(
+                at_or_below >= rank,
+                "rank {rank} of {m} not reached: {at_or_below} at or below {q}"
+            );
         }
     }
+}
 
-    /// Monotone in α: smaller miscoverage → larger (or equal) threshold.
-    #[test]
-    fn conformal_quantile_monotone(
-        scores in proptest::collection::vec(-10.0f64..10.0, 5..60),
-        a1 in 0.05f64..0.45,
-        da in 0.01f64..0.4,
-    ) {
+/// Monotone in α: smaller miscoverage → larger (or equal) threshold.
+#[test]
+fn conformal_quantile_monotone() {
+    let mut rng = ChaCha8Rng::seed_from_u64(202);
+    for _ in 0..cases() {
+        let m = rng.gen_range(5..60usize);
+        let scores = rand_scores(&mut rng, m, -10.0, 10.0);
+        let a1 = rng.gen_range(0.05..0.45);
+        let da = rng.gen_range(0.01..0.4);
         let q_small_alpha = conformal_quantile(&scores, a1).unwrap();
         let q_large_alpha = conformal_quantile(&scores, a1 + da).unwrap();
-        prop_assert!(q_small_alpha >= q_large_alpha);
+        assert!(q_small_alpha >= q_large_alpha);
     }
+}
 
-    /// min_calibration_size is exactly the threshold of finiteness.
-    #[test]
-    fn min_calibration_size_is_tight(alpha in 0.02f64..0.5) {
+/// min_calibration_size is exactly the threshold of finiteness.
+#[test]
+fn min_calibration_size_is_tight() {
+    let mut rng = ChaCha8Rng::seed_from_u64(203);
+    for _ in 0..cases() {
+        let alpha = rng.gen_range(0.02..0.5);
         let m = min_calibration_size(alpha);
         let scores: Vec<f64> = (0..m).map(|i| i as f64).collect();
-        prop_assert!(conformal_quantile(&scores, alpha).unwrap().is_finite());
+        assert!(conformal_quantile(&scores, alpha).unwrap().is_finite());
         if m > 1 {
             let fewer: Vec<f64> = (0..m - 1).map(|i| i as f64).collect();
-            prop_assert!(conformal_quantile(&fewer, alpha).unwrap().is_infinite());
+            assert!(conformal_quantile(&fewer, alpha).unwrap().is_infinite());
         }
     }
+}
 
-    /// Interval constructor normalizes ordering and containment is
-    /// consistent with the endpoints.
-    #[test]
-    fn interval_invariants(a in -50.0f64..50.0, b in -50.0f64..50.0, y in -60.0f64..60.0) {
+/// Interval constructor normalizes ordering and containment is consistent
+/// with the endpoints.
+#[test]
+fn interval_invariants() {
+    let mut rng = ChaCha8Rng::seed_from_u64(204);
+    for _ in 0..cases() {
+        let a = rng.gen_range(-50.0..50.0);
+        let b = rng.gen_range(-50.0..50.0);
+        let y = rng.gen_range(-60.0..60.0);
         let iv = PredictionInterval::new(a, b);
-        prop_assert!(iv.lo() <= iv.hi());
-        prop_assert!(iv.length() >= 0.0);
-        prop_assert_eq!(iv.contains(y), y >= iv.lo() && y <= iv.hi());
-        prop_assert!(iv.contains(iv.midpoint()));
+        assert!(iv.lo() <= iv.hi());
+        assert!(iv.length() >= 0.0);
+        assert_eq!(iv.contains(y), y >= iv.lo() && y <= iv.hi());
+        assert!(iv.contains(iv.midpoint()));
     }
 }
 

@@ -93,6 +93,7 @@ pub fn bin_population(
     let mut escapes = 0usize;
     let mut supply_sum = 0.0;
     let mut power_sum = 0.0;
+    // invariant: BinningScheme::new rejects an empty bin list.
     let v_top = *scheme.bins_mv().last().expect("non-empty scheme");
     let mut binned = 0usize;
     for i in 0..population.n_samples() {

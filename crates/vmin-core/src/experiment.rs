@@ -52,6 +52,8 @@ pub enum ExperimentError {
     Scenario(String),
     /// A fold pipeline failed.
     Flow(String),
+    /// A summary table lacked a row the statistic needs.
+    MissingSummaryRow(&'static str),
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -59,6 +61,9 @@ impl std::fmt::Display for ExperimentError {
         match self {
             ExperimentError::Scenario(m) => write!(f, "scenario failure: {m}"),
             ExperimentError::Flow(m) => write!(f, "flow failure: {m}"),
+            ExperimentError::MissingSummaryRow(row) => {
+                write!(f, "feature-set study summary lacks the {row} row")
+            }
         }
     }
 }
@@ -211,19 +216,21 @@ pub fn run_feature_set_study(
 /// The headline Table IV statistic: relative interval-length reduction from
 /// adding on-chip monitors to parametric data (paper: ≈ 21%).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `summaries` lacks the Parametric or Both rows.
-pub fn onchip_monitor_gain(summaries: &[FeatureSetSummary]) -> f64 {
+/// [`ExperimentError::MissingSummaryRow`] when `summaries` lacks the
+/// Parametric or Both row — e.g. a partial study driven by a caller that
+/// restricted the feature sets.
+pub fn onchip_monitor_gain(summaries: &[FeatureSetSummary]) -> Result<f64, ExperimentError> {
     let parametric = summaries
         .iter()
         .find(|s| s.feature_set == FeatureSet::Parametric)
-        .expect("parametric row present");
+        .ok_or(ExperimentError::MissingSummaryRow("Parametric"))?;
     let both = summaries
         .iter()
         .find(|s| s.feature_set == FeatureSet::Both)
-        .expect("both row present");
-    (parametric.average_length - both.average_length) / parametric.average_length
+        .ok_or(ExperimentError::MissingSummaryRow("Both"))?;
+    Ok((parametric.average_length - both.average_length) / parametric.average_length)
 }
 
 #[cfg(test)]
@@ -283,8 +290,18 @@ mod tests {
             assert_eq!(r.length_per_temp.len(), 3);
             assert!(r.average_length > 0.0);
         }
-        let gain = onchip_monitor_gain(&rows);
+        let gain = onchip_monitor_gain(&rows).unwrap();
         assert!(gain.is_finite());
+        // A study missing the Both row cannot produce the gain statistic.
+        let partial: Vec<_> = rows
+            .iter()
+            .filter(|r| r.feature_set != FeatureSet::Both)
+            .cloned()
+            .collect();
+        assert!(matches!(
+            onchip_monitor_gain(&partial),
+            Err(ExperimentError::MissingSummaryRow("Both"))
+        ));
     }
 
     #[test]

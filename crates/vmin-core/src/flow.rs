@@ -1,11 +1,14 @@
 //! Fold-level fitting/evaluation and the user-facing [`VminPredictor`].
 
+use crate::degradation::{sanitize_campaign, DegradationError, DegradationPolicy, RepairLog};
+use crate::scenario::FeatureSet;
 use crate::zoo::{ModelConfig, PointModel, RegionMethod};
 use std::error::Error;
 use std::fmt;
 use vmin_conformal::{evaluate_intervals, Cqr, PredictionInterval};
 use vmin_data::{cfs_select, r_squared, rmse, train_test_split, Dataset, Standardizer};
 use vmin_models::{GaussianProcess, Regressor};
+use vmin_silicon::Campaign;
 
 /// Error from the prediction flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,6 +17,8 @@ pub enum FlowError {
     Inner(String),
     /// The configuration is inconsistent (e.g. α outside (0, 1)).
     InvalidConfig(String),
+    /// The degradation pipeline rejected dirty data or failed to repair it.
+    Degradation(DegradationError),
 }
 
 impl fmt::Display for FlowError {
@@ -21,11 +26,18 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Inner(m) => write!(f, "pipeline failure: {m}"),
             FlowError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            FlowError::Degradation(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl Error for FlowError {}
+
+impl From<DegradationError> for FlowError {
+    fn from(e: DegradationError) -> Self {
+        FlowError::Degradation(e)
+    }
+}
 
 impl From<vmin_models::ModelError> for FlowError {
     fn from(e: vmin_models::ModelError) -> Self {
@@ -425,6 +437,121 @@ impl VminPredictor {
     pub fn flags_spec_risk(&self, row: &[f64], min_spec_mv: f64) -> Result<bool, FlowError> {
         Ok(self.interval(row)?.hi() > min_spec_mv)
     }
+
+    /// Sanitizes a (possibly dirty) campaign under `policy` and fits a
+    /// predictor on the repaired dataset. Feature rows passed to
+    /// [`Self::interval`] afterwards must come from the returned
+    /// [`SanitizedFit::dataset`] (repairs may drop columns).
+    ///
+    /// When monitor loss forced the parametric-only fallback, the log's
+    /// `fallback_length_cost_mv` is filled with the mean interval-length
+    /// cost relative to a fit that keeps the surviving monitors — the
+    /// pipeline's live mirror of the paper's Table IV feature-set trade.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Degradation`] when the policy rejects or cannot repair
+    /// the data (notably [`DegradationError::DirtyDataRejected`] in strict
+    /// mode); otherwise the same conditions as [`Self::fit`].
+    #[allow(clippy::too_many_arguments)] // mirrors `fit` plus the scenario coordinates
+    pub fn fit_sanitized(
+        campaign: &Campaign,
+        read_point: usize,
+        temp_idx: usize,
+        feature_set: FeatureSet,
+        policy: &DegradationPolicy,
+        method: RegionMethod,
+        alpha: f64,
+        cal_fraction: f64,
+        seed: u64,
+        cfg: &ModelConfig,
+    ) -> Result<SanitizedFit, FlowError> {
+        let (dataset, mut log) =
+            sanitize_campaign(campaign, read_point, temp_idx, feature_set, policy)?;
+        let predictor = VminPredictor::fit(&dataset, method, alpha, cal_fraction, seed, cfg)?;
+        if log.monitor_fallback {
+            log.fallback_length_cost_mv = fallback_length_cost(
+                campaign,
+                read_point,
+                temp_idx,
+                feature_set,
+                policy,
+                method,
+                alpha,
+                cal_fraction,
+                seed,
+                cfg,
+                &predictor,
+                &dataset,
+            );
+        }
+        Ok(SanitizedFit {
+            predictor,
+            dataset,
+            log,
+        })
+    }
+}
+
+/// A predictor fitted through the degradation pipeline, together with the
+/// repaired dataset it was fitted on and the structured repair log.
+#[derive(Debug)]
+pub struct SanitizedFit {
+    /// The fitted predictor (over the repaired feature space).
+    pub predictor: VminPredictor,
+    /// The repaired dataset; its rows are valid inputs to
+    /// [`VminPredictor::interval`].
+    pub dataset: Dataset,
+    /// What the degradation pipeline detected and repaired.
+    pub log: RepairLog,
+}
+
+/// Mean interval length of `p` over the rows of `ds`, or `None` on any
+/// prediction failure.
+fn mean_interval_length_over(p: &VminPredictor, ds: &Dataset) -> Option<f64> {
+    if ds.n_samples() == 0 {
+        return None;
+    }
+    let mut sum = 0.0;
+    for i in 0..ds.n_samples() {
+        sum += p.interval(ds.sample(i)).ok()?.length();
+    }
+    Some(sum / ds.n_samples() as f64)
+}
+
+/// Interval-length cost (mV) of the parametric-only fallback: refits with
+/// the fallback disabled (keeping whatever monitor columns survived) and
+/// compares mean interval lengths. Positive = the fallback costs interval
+/// sharpness, mirroring Table IV. `None` when no comparison fit is possible
+/// (e.g. the whole monitor bank is dead).
+#[allow(clippy::too_many_arguments)]
+fn fallback_length_cost(
+    campaign: &Campaign,
+    read_point: usize,
+    temp_idx: usize,
+    feature_set: FeatureSet,
+    policy: &DegradationPolicy,
+    method: RegionMethod,
+    alpha: f64,
+    cal_fraction: f64,
+    seed: u64,
+    cfg: &ModelConfig,
+    fallback: &VminPredictor,
+    fallback_ds: &Dataset,
+) -> Option<f64> {
+    let keep_monitors = DegradationPolicy {
+        monitor_fallback_threshold: f64::INFINITY,
+        ..policy.clone()
+    };
+    let (full_ds, _) =
+        sanitize_campaign(campaign, read_point, temp_idx, feature_set, &keep_monitors).ok()?;
+    if full_ds.n_features() <= fallback_ds.n_features() {
+        return None; // no monitor column survived; nothing to compare against
+    }
+    let full = VminPredictor::fit(&full_ds, method, alpha, cal_fraction, seed, cfg).ok()?;
+    let fb_len = mean_interval_length_over(fallback, fallback_ds)?;
+    let full_len = mean_interval_length_over(&full, &full_ds)?;
+    Some(fb_len - full_len)
 }
 
 #[cfg(test)]
@@ -448,7 +575,11 @@ mod tests {
         let test = ds.subset_rows(&split.test).unwrap();
         let eval =
             eval_point_fold(PointModel::Linear, &ModelConfig::fast(), &train, &test).unwrap();
-        assert!(eval.r2 > 0.0, "LR should beat the mean baseline, R²={}", eval.r2);
+        assert!(
+            eval.r2 > 0.0,
+            "LR should beat the mean baseline, R²={}",
+            eval.r2
+        );
         assert!(eval.n_features >= 1 && eval.n_features <= 10);
         assert!(eval.rmse > 0.0);
     }
@@ -556,7 +687,11 @@ mod tests {
         )
         .unwrap();
         let covered = (0..ds.n_samples())
-            .filter(|&i| pred.interval(ds.sample(i)).unwrap().contains(ds.targets()[i]))
+            .filter(|&i| {
+                pred.interval(ds.sample(i))
+                    .unwrap()
+                    .contains(ds.targets()[i])
+            })
             .count();
         assert!(
             covered as f64 / ds.n_samples() as f64 > 0.6,

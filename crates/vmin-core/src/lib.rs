@@ -46,27 +46,33 @@
 #![allow(clippy::needless_range_loop)]
 
 mod binning;
+mod degradation;
 mod experiment;
-mod reliability;
-mod screening;
 mod flow;
+mod reliability;
 mod report;
 mod scenario;
+mod screening;
 mod zoo;
 
+pub use binning::{bin_population, BinningReport, BinningScheme};
+pub use degradation::{
+    sanitize_campaign, ClassDisposition, DegradationError, DegradationPolicy, RepairLog,
+};
 pub use experiment::{
     onchip_monitor_gain, run_feature_set_study, run_point_cell, run_region_cell, ExperimentConfig,
     ExperimentError, FeatureSetSummary,
 };
 pub use flow::{
-    eval_point_fold, eval_region_fold, FlowError, PointEval, RegionEval, VminPredictor,
-    CFS_MAX_FEATURES, CFS_POOL,
+    eval_point_fold, eval_region_fold, FlowError, PointEval, RegionEval, SanitizedFit,
+    VminPredictor, CFS_MAX_FEATURES, CFS_POOL,
 };
-pub use binning::{bin_population, BinningReport, BinningScheme};
 pub use reliability::{forecast_fleet, ChipForecast, FleetReport};
-pub use screening::{simulate_screening, ScreeningDecision, ScreeningPolicy, ScreeningReport};
-pub use report::{format_feature_set_table, format_point_table, format_region_table};
+pub use report::{
+    format_feature_set_table, format_point_table, format_region_table, format_repair_log,
+};
 pub use scenario::{
     assemble_dataset, assemble_dataset_with_trends, monitor_read_points, FeatureSet, ScenarioError,
 };
+pub use screening::{simulate_screening, ScreeningDecision, ScreeningPolicy, ScreeningReport};
 pub use zoo::{ModelConfig, PointModel, RegionMethod};

@@ -1,9 +1,18 @@
 //! Plain-text table formatting matching the paper's artifacts.
 
+use crate::degradation::RepairLog;
 use crate::experiment::FeatureSetSummary;
 use crate::flow::{PointEval, RegionEval};
 use crate::zoo::{PointModel, RegionMethod};
 use vmin_silicon::Campaign;
+
+/// Formats a degradation [`RepairLog`] as the per-fault-class block embedded
+/// in experiment reports: one line per fault class with its detection count
+/// and repair action, plus the fallback note when monitor loss forced the
+/// parametric-only feature set.
+pub fn format_repair_log(log: &RepairLog) -> String {
+    log.summary()
+}
 
 /// Formats a Fig. 2-style table: R² per (model, temperature) for one read
 /// point. `results[m][t]` corresponds to `models[m]`, temperature index `t`.
@@ -30,7 +39,11 @@ pub fn format_point_table(
     }
     out.push('\n');
     for (model, row) in models.iter().zip(results) {
-        assert_eq!(row.len(), campaign.temperatures.len(), "column count mismatch");
+        assert_eq!(
+            row.len(),
+            campaign.temperatures.len(),
+            "column count mismatch"
+        );
         out.push_str(&format!("{:<22}", model.to_string()));
         for eval in row {
             out.push_str(&format!(
@@ -67,7 +80,11 @@ pub fn format_region_table(
     }
     out.push('\n');
     for (method, row) in methods.iter().zip(results) {
-        assert_eq!(row.len(), campaign.temperatures.len(), "column count mismatch");
+        assert_eq!(
+            row.len(),
+            campaign.temperatures.len(),
+            "column count mismatch"
+        );
         out.push_str(&format!("{:<26}", method.to_string()));
         for eval in row {
             out.push_str(&format!(
@@ -131,7 +148,11 @@ mod tests {
         let models = [PointModel::Linear, PointModel::CatBoost];
         let results = vec![
             vec![
-                PointEval { r2: 0.9, rmse: 3.0, n_features: 5 };
+                PointEval {
+                    r2: 0.9,
+                    rmse: 3.0,
+                    n_features: 5
+                };
                 c.temperatures.len()
             ];
             2
@@ -148,7 +169,10 @@ mod tests {
         let c = campaign();
         let methods = [RegionMethod::Gp];
         let results = vec![vec![
-            RegionEval { mean_length: 24.5, coverage: 0.916 };
+            RegionEval {
+                mean_length: 24.5,
+                coverage: 0.916
+            };
             c.temperatures.len()
         ]];
         let s = format_region_table(&c, 3, &methods, &results);

@@ -188,6 +188,8 @@ pub fn assemble_dataset_with_trends(
     if points.len() < 2 || matches!(feature_set, FeatureSet::Parametric) {
         return Ok(base);
     }
+    // invariant: the points.len() < 2 early return above guarantees at
+    // least two monitor read points here.
     let first = *points.first().expect("non-empty");
     let last = *points.last().expect("non-empty");
     let n = campaign.chip_count();

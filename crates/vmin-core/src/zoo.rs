@@ -116,9 +116,9 @@ impl PointModel {
     /// for the GP (whose region prediction is Gaussian, not quantile-based).
     pub fn make_quantile(&self, q: f64, cfg: &ModelConfig) -> Option<Box<dyn Regressor>> {
         match self {
-            PointModel::Linear => {
-                Some(Box::new(QuantileLinear::new(q).with_training(cfg.qlin_epochs, 0.02)))
-            }
+            PointModel::Linear => Some(Box::new(
+                QuantileLinear::new(q).with_training(cfg.qlin_epochs, 0.02),
+            )),
             PointModel::GaussianProcess => None,
             PointModel::Xgboost => Some(Box::new(GradientBoost::with_params(
                 Loss::Pinball(q),
@@ -210,8 +210,12 @@ mod tests {
 
     #[test]
     fn all_point_models_fit_and_predict() {
-        let x = Matrix::from_rows(&(0..20).map(|i| vec![i as f64, (i * i) as f64]).collect::<Vec<_>>())
-            .unwrap();
+        let x = Matrix::from_rows(
+            &(0..20)
+                .map(|i| vec![i as f64, (i * i) as f64])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
         let y: Vec<f64> = (0..20).map(|i| 2.0 * i as f64 + 1.0).collect();
         let cfg = ModelConfig::fast();
         for kind in PointModel::ALL {
@@ -251,8 +255,14 @@ mod tests {
 
     #[test]
     fn display_names_match_table_rows() {
-        assert_eq!(RegionMethod::Cqr(PointModel::CatBoost).to_string(), "CQR CatBoost");
-        assert_eq!(RegionMethod::Qr(PointModel::Linear).to_string(), "QR Linear Regression");
+        assert_eq!(
+            RegionMethod::Cqr(PointModel::CatBoost).to_string(),
+            "CQR CatBoost"
+        );
+        assert_eq!(
+            RegionMethod::Qr(PointModel::Linear).to_string(),
+            "QR Linear Regression"
+        );
         assert_eq!(RegionMethod::Gp.to_string(), "GP");
     }
 

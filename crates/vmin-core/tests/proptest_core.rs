@@ -1,11 +1,13 @@
-//! Property-based tests on the framework layer: feature-assembly causality,
+//! Property-style tests on the framework layer: feature-assembly causality,
 //! dataset alignment, and predictor robustness across arbitrary seeds.
+//! Seeded in-tree randomness keeps the suite hermetic; `heavy-tests`
+//! multiplies case counts.
 
-use proptest::prelude::*;
 use vmin_core::{
     assemble_dataset, monitor_read_points, FeatureSet, ModelConfig, PointModel, RegionMethod,
     VminPredictor,
 };
+use vmin_rng::{ChaCha8Rng, Rng, SeedableRng};
 use vmin_silicon::{Campaign, DatasetSpec};
 
 fn tiny_spec() -> DatasetSpec {
@@ -21,36 +23,41 @@ fn tiny_spec() -> DatasetSpec {
     spec
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Monitor read points are always strictly causal and non-empty.
-    #[test]
-    fn monitor_points_strictly_causal(rp in 0usize..12) {
+/// Monitor read points are always strictly causal and non-empty.
+#[test]
+fn monitor_points_strictly_causal() {
+    for rp in 0..12 {
         let pts = monitor_read_points(rp);
-        prop_assert!(!pts.is_empty());
+        assert!(!pts.is_empty());
         if rp == 0 {
-            prop_assert_eq!(pts, vec![0]);
+            assert_eq!(pts, vec![0]);
         } else {
-            prop_assert!(pts.iter().all(|&p| p < rp));
-            prop_assert_eq!(pts.len(), rp);
+            assert!(pts.iter().all(|&p| p < rp));
+            assert_eq!(pts.len(), rp);
         }
     }
+}
 
-    /// Any (seed, read point, temperature, feature set) assembles a dataset
-    /// whose shape follows the campaign spec exactly.
-    #[test]
-    fn assembly_shape_invariant(
-        seed in 0u64..500,
-        rp in 0usize..6,
-        temp in 0usize..3,
-        fs_pick in 0usize..3,
-    ) {
+/// Any (seed, read point, temperature, feature set) assembles a dataset
+/// whose shape follows the campaign spec exactly.
+#[test]
+fn assembly_shape_invariant() {
+    let mut rng = ChaCha8Rng::seed_from_u64(601);
+    let reps = if cfg!(feature = "heavy-tests") {
+        48
+    } else {
+        12
+    };
+    for _ in 0..reps {
+        let seed = rng.gen_range(0..500u64);
+        let rp = rng.gen_range(0..6usize);
+        let temp = rng.gen_range(0..3usize);
+        let fs_pick = rng.gen_range(0..3usize);
         let spec = tiny_spec();
         let campaign = Campaign::run(&spec, seed);
         let fs = [FeatureSet::Parametric, FeatureSet::OnChip, FeatureSet::Both][fs_pick];
         let ds = assemble_dataset(&campaign, rp, temp, fs).unwrap();
-        prop_assert_eq!(ds.n_samples(), spec.chip_count);
+        assert_eq!(ds.n_samples(), spec.chip_count);
         let per_rp = spec.monitors.rod_count + spec.monitors.cpd_count;
         let monitor_cols = monitor_read_points(rp).len() * per_rp;
         let expected = match fs {
@@ -58,28 +65,40 @@ proptest! {
             FeatureSet::OnChip => monitor_cols,
             FeatureSet::Both => spec.parametric.total_tests() + monitor_cols,
         };
-        prop_assert_eq!(ds.n_features(), expected);
-        prop_assert_eq!(ds.names().len(), expected);
-        prop_assert!(ds.targets().iter().all(|v| v.is_finite()));
-    }
-
-    /// Targets always equal the campaign's Vmin column for the same cell.
-    #[test]
-    fn assembly_targets_aligned(seed in 0u64..200, rp in 0usize..6, temp in 0usize..3) {
-        let campaign = Campaign::run(&tiny_spec(), seed);
-        let ds = assemble_dataset(&campaign, rp, temp, FeatureSet::OnChip).unwrap();
-        let expected = campaign.vmin_column(rp, temp);
-        prop_assert_eq!(ds.targets(), expected.as_slice());
+        assert_eq!(ds.n_features(), expected);
+        assert_eq!(ds.names().len(), expected);
+        assert!(ds.targets().iter().all(|v| v.is_finite()));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(4))]
+/// Targets always equal the campaign's Vmin column for the same cell.
+#[test]
+fn assembly_targets_aligned() {
+    let mut rng = ChaCha8Rng::seed_from_u64(602);
+    let reps = if cfg!(feature = "heavy-tests") {
+        48
+    } else {
+        12
+    };
+    for _ in 0..reps {
+        let seed = rng.gen_range(0..200u64);
+        let rp = rng.gen_range(0..6usize);
+        let temp = rng.gen_range(0..3usize);
+        let campaign = Campaign::run(&tiny_spec(), seed);
+        let ds = assemble_dataset(&campaign, rp, temp, FeatureSet::OnChip).unwrap();
+        let expected = campaign.vmin_column(rp, temp);
+        assert_eq!(ds.targets(), expected.as_slice());
+    }
+}
 
-    /// A CQR predictor fits and produces ordered, finite intervals for any
-    /// campaign seed (α = 0.25 keeps the tiny calibration set workable).
-    #[test]
-    fn predictor_robust_across_seeds(seed in 0u64..100) {
+/// A CQR predictor fits and produces ordered, finite intervals for any
+/// campaign seed (α = 0.25 keeps the tiny calibration set workable).
+#[test]
+fn predictor_robust_across_seeds() {
+    let mut rng = ChaCha8Rng::seed_from_u64(603);
+    let reps = if cfg!(feature = "heavy-tests") { 16 } else { 4 };
+    for _ in 0..reps {
+        let seed = rng.gen_range(0..100u64);
         let campaign = Campaign::run(&tiny_spec(), seed * 37 + 5);
         let ds = assemble_dataset(&campaign, 0, 1, FeatureSet::Both).unwrap();
         let p = VminPredictor::fit(
@@ -93,8 +112,8 @@ proptest! {
         .unwrap();
         for i in 0..ds.n_samples().min(6) {
             let iv = p.interval(ds.sample(i)).unwrap();
-            prop_assert!(iv.lo() <= iv.hi());
-            prop_assert!(iv.lo().is_finite() && iv.hi().is_finite());
+            assert!(iv.lo() <= iv.hi());
+            assert!(iv.lo().is_finite() && iv.hi().is_finite());
         }
     }
 }

@@ -147,7 +147,12 @@ pub fn cfs_select(x: &Matrix, y: &[f64], max_features: usize, pool_size: usize) 
 /// Runs [`cfs_select`] for every subset size in `1..=max_features` and
 /// returns the per-size selections (the paper reports the best score over
 /// 1..=10 features; the caller evaluates each on validation data).
-pub fn cfs_sweep(x: &Matrix, y: &[f64], max_features: usize, pool_size: usize) -> Vec<CfsSelection> {
+pub fn cfs_sweep(
+    x: &Matrix,
+    y: &[f64],
+    max_features: usize,
+    pool_size: usize,
+) -> Vec<CfsSelection> {
     let full = cfs_select(x, y, max_features, pool_size);
     let mut out = Vec::with_capacity(max_features);
     for k in 1..=max_features {
@@ -167,9 +172,9 @@ pub fn cfs_sweep(x: &Matrix, y: &[f64], max_features: usize, pool_size: usize) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::Rng;
+    use vmin_rng::SeedableRng;
 
     /// Builds x with: col0 = signal, col1 = signal copy (redundant),
     /// col2..4 = noise; y = signal.
@@ -250,7 +255,11 @@ mod tests {
         for w in sweep.windows(2) {
             let (a, b) = (&w[0].selected, &w[1].selected);
             assert!(b.len() >= a.len());
-            assert_eq!(&b[..a.len()], &a[..], "later selections extend earlier ones");
+            assert_eq!(
+                &b[..a.len()],
+                &a[..],
+                "later selections extend earlier ones"
+            );
         }
     }
 

@@ -35,12 +35,14 @@
 
 mod cfs;
 mod dataset;
+pub mod hygiene;
 mod metrics;
 mod split;
 mod standardize;
 
 pub use cfs::{cfs_select, cfs_sweep, CfsSelection};
 pub use dataset::{Dataset, DatasetError};
+pub use hygiene::{HygieneError, HygieneReport};
 pub use metrics::{coverage, mae, mean_interval_length, pinball_loss, r_squared, rmse};
 pub use split::{train_test_split, KFold, Split};
 pub use standardize::{Standardizer, TargetScaler};

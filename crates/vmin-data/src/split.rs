@@ -5,9 +5,9 @@
 //! across all interval predictors, and a 75/25 train/calibration split
 //! inside CQR. Both splits here are seed-deterministic.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vmin_rng::seq::SliceRandom;
+use vmin_rng::ChaCha8Rng;
+use vmin_rng::SeedableRng;
 
 /// A single train/test (or train/calibration) index split.
 #[derive(Debug, Clone, PartialEq, Eq)]

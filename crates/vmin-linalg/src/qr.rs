@@ -234,12 +234,7 @@ mod tests {
 
     #[test]
     fn qr_residual_is_orthogonal_to_columns() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, -1.0],
-            vec![0.5, 0.5],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, -1.0], vec![0.5, 0.5]]).unwrap();
         let b = [1.0, 2.0, 3.0];
         let x = lstsq(&a, &b).unwrap();
         let pred = a.matvec(&x).unwrap();
@@ -260,12 +255,7 @@ mod tests {
     #[test]
     fn qr_detects_rank_deficiency() {
         // Second column is 2x the first.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         let qr = Qr::factor(&a).unwrap();
         assert!(matches!(
             qr.solve_least_squares(&[1.0, 2.0, 3.0]),
@@ -286,12 +276,7 @@ mod tests {
 
     #[test]
     fn ridge_handles_collinearity() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         let x = ridge(&a, &[1.0, 2.0, 3.0], 1e-6).unwrap();
         assert!(x.iter().all(|v| v.is_finite()));
     }

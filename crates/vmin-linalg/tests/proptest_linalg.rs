@@ -1,74 +1,105 @@
-//! Property-based tests for the linear-algebra kernels.
+//! Property-style tests for the linear-algebra kernels.
+//!
+//! Each test draws many random cases from a seeded in-tree generator and
+//! asserts the property on every draw — the same checks the original
+//! proptest suite made, now hermetic (no registry dependencies) and fully
+//! reproducible. Enable the `heavy-tests` feature to multiply case counts.
 
-use proptest::prelude::*;
 use vmin_linalg::{
     lstsq, normal_cdf, normal_inverse_cdf, pearson, quantile, quantile_higher, Cholesky, Matrix,
 };
+use vmin_rng::{ChaCha8Rng, Rng, SeedableRng};
 
-/// Strategy: a well-conditioned random matrix of the given shape.
-fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-10.0f64..10.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("shape matches"))
-}
-
-fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-10.0f64..10.0, len)
-}
-
-proptest! {
-    #[test]
-    fn transpose_involution(m in matrix_strategy(4, 3)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
+/// Randomized cases per property (raised under `heavy-tests`).
+fn cases() -> usize {
+    if cfg!(feature = "heavy-tests") {
+        512
+    } else {
+        64
     }
+}
 
-    #[test]
-    fn matmul_associative(
-        a in matrix_strategy(3, 3),
-        b in matrix_strategy(3, 3),
-        c in matrix_strategy(3, 3),
-    ) {
+fn rand_vec(rng: &mut ChaCha8Rng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(-10.0..10.0)).collect()
+}
+
+fn rand_matrix(rng: &mut ChaCha8Rng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(rows, cols, rand_vec(rng, rows * cols)).expect("shape matches")
+}
+
+#[test]
+fn transpose_involution() {
+    let mut rng = ChaCha8Rng::seed_from_u64(101);
+    for _ in 0..cases() {
+        let m = rand_matrix(&mut rng, 4, 3);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+}
+
+#[test]
+fn matmul_associative() {
+    let mut rng = ChaCha8Rng::seed_from_u64(102);
+    for _ in 0..cases() {
+        let a = rand_matrix(&mut rng, 3, 3);
+        let b = rand_matrix(&mut rng, 3, 3);
+        let c = rand_matrix(&mut rng, 3, 3);
         let lhs = a.matmul(&b).unwrap().matmul(&c).unwrap();
         let rhs = a.matmul(&b.matmul(&c).unwrap()).unwrap();
-        prop_assert!((&lhs - &rhs).max_abs() < 1e-9);
+        assert!((&lhs - &rhs).max_abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn gram_is_symmetric_psd_diagonal(m in matrix_strategy(5, 3)) {
+#[test]
+fn gram_is_symmetric_psd_diagonal() {
+    let mut rng = ChaCha8Rng::seed_from_u64(103);
+    for _ in 0..cases() {
+        let m = rand_matrix(&mut rng, 5, 3);
         let g = m.gram();
         for i in 0..3 {
-            prop_assert!(g[(i, i)] >= -1e-12);
+            assert!(g[(i, i)] >= -1e-12);
             for j in 0..3 {
-                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-12);
+                assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn cholesky_roundtrip_on_jittered_gram(m in matrix_strategy(6, 3)) {
+#[test]
+fn cholesky_roundtrip_on_jittered_gram() {
+    let mut rng = ChaCha8Rng::seed_from_u64(104);
+    for _ in 0..cases() {
+        let m = rand_matrix(&mut rng, 6, 3);
         let mut g = m.gram();
         g.add_diagonal(1.0); // guarantee positive definiteness
         let c = Cholesky::factor(&g).unwrap();
         let back = c.l().matmul(&c.l().transpose()).unwrap();
-        prop_assert!((&back - &g).max_abs() < 1e-9);
+        assert!((&back - &g).max_abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn cholesky_solve_residual_small(m in matrix_strategy(6, 4), b in vec_strategy(4)) {
+#[test]
+fn cholesky_solve_residual_small() {
+    let mut rng = ChaCha8Rng::seed_from_u64(105);
+    for _ in 0..cases() {
+        let m = rand_matrix(&mut rng, 6, 4);
+        let b = rand_vec(&mut rng, 4);
         let mut g = m.gram();
         g.add_diagonal(1.0);
         let c = Cholesky::factor(&g).unwrap();
         let x = c.solve(&b).unwrap();
         let gx = g.matvec(&x).unwrap();
         for i in 0..4 {
-            prop_assert!((gx[i] - b[i]).abs() < 1e-8);
+            assert!((gx[i] - b[i]).abs() < 1e-8);
         }
     }
+}
 
-    #[test]
-    fn lstsq_recovers_planted_coefficients(
-        m in matrix_strategy(8, 3),
-        beta in vec_strategy(3),
-    ) {
+#[test]
+fn lstsq_recovers_planted_coefficients() {
+    let mut rng = ChaCha8Rng::seed_from_u64(106);
+    for _ in 0..cases() {
+        let m = rand_matrix(&mut rng, 8, 3);
+        let beta = rand_vec(&mut rng, 3);
         // Make columns well-conditioned by jittering the diagonal block.
         let mut a = m.clone();
         for j in 0..3 {
@@ -77,50 +108,84 @@ proptest! {
         let y = a.matvec(&beta).unwrap();
         let hat = lstsq(&a, &y).unwrap();
         for j in 0..3 {
-            prop_assert!((hat[j] - beta[j]).abs() < 1e-6,
-                "expected {} got {}", beta[j], hat[j]);
+            assert!(
+                (hat[j] - beta[j]).abs() < 1e-6,
+                "expected {} got {}",
+                beta[j],
+                hat[j]
+            );
         }
     }
+}
 
-    #[test]
-    fn quantile_within_range(mut data in vec_strategy(20), p in 0.0f64..=1.0) {
-        data.iter_mut().for_each(|x| *x = x.abs());
+#[test]
+fn quantile_within_range() {
+    let mut rng = ChaCha8Rng::seed_from_u64(107);
+    for _ in 0..cases() {
+        let data: Vec<f64> = rand_vec(&mut rng, 20).iter().map(|x| x.abs()).collect();
+        let p = rng.gen_range(0.0..=1.0);
         let q = quantile(&data, p).unwrap();
         let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(q >= lo - 1e-12 && q <= hi + 1e-12);
+        assert!(q >= lo - 1e-12 && q <= hi + 1e-12);
     }
+}
 
-    #[test]
-    fn quantile_monotone_in_p(data in vec_strategy(15), p1 in 0.0f64..=1.0, p2 in 0.0f64..=1.0) {
+#[test]
+fn quantile_monotone_in_p() {
+    let mut rng = ChaCha8Rng::seed_from_u64(108);
+    for _ in 0..cases() {
+        let data = rand_vec(&mut rng, 15);
+        let p1 = rng.gen_range(0.0..=1.0);
+        let p2 = rng.gen_range(0.0..=1.0);
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-        prop_assert!(quantile(&data, lo).unwrap() <= quantile(&data, hi).unwrap() + 1e-12);
+        assert!(quantile(&data, lo).unwrap() <= quantile(&data, hi).unwrap() + 1e-12);
     }
+}
 
-    #[test]
-    fn quantile_higher_reaches_level(data in vec_strategy(15), p in 0.0f64..=1.0) {
+#[test]
+fn quantile_higher_reaches_level() {
+    let mut rng = ChaCha8Rng::seed_from_u64(109);
+    for _ in 0..cases() {
+        let data = rand_vec(&mut rng, 15);
+        let p = rng.gen_range(0.0..=1.0);
         let q = quantile_higher(&data, p).unwrap();
         let cdf = data.iter().filter(|&&x| x <= q).count() as f64 / data.len() as f64;
-        prop_assert!(cdf >= p - 1e-12, "cdf at q={} is {} < p={}", q, cdf, p);
+        assert!(cdf >= p - 1e-12, "cdf at q={} is {} < p={}", q, cdf, p);
     }
+}
 
-    #[test]
-    fn pearson_bounded(a in vec_strategy(12), b in vec_strategy(12)) {
+#[test]
+fn pearson_bounded() {
+    let mut rng = ChaCha8Rng::seed_from_u64(110);
+    for _ in 0..cases() {
+        let a = rand_vec(&mut rng, 12);
+        let b = rand_vec(&mut rng, 12);
         let r = pearson(&a, &b);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
     }
+}
 
-    #[test]
-    fn pearson_scale_invariant(a in vec_strategy(12), b in vec_strategy(12), s in 0.1f64..10.0) {
+#[test]
+fn pearson_scale_invariant() {
+    let mut rng = ChaCha8Rng::seed_from_u64(111);
+    for _ in 0..cases() {
+        let a = rand_vec(&mut rng, 12);
+        let b = rand_vec(&mut rng, 12);
+        let s = rng.gen_range(0.1..10.0);
         let r1 = pearson(&a, &b);
         let scaled: Vec<f64> = b.iter().map(|x| s * x + 3.0).collect();
         let r2 = pearson(&a, &scaled);
-        prop_assert!((r1 - r2).abs() < 1e-8);
+        assert!((r1 - r2).abs() < 1e-8);
     }
+}
 
-    #[test]
-    fn probit_cdf_roundtrip(p in 0.001f64..0.999) {
+#[test]
+fn probit_cdf_roundtrip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(112);
+    for _ in 0..cases() {
+        let p = rng.gen_range(0.001..0.999);
         let z = normal_inverse_cdf(p).unwrap();
-        prop_assert!((normal_cdf(z) - p).abs() < 1e-5);
+        assert!((normal_cdf(z) - p).abs() < 1e-5);
     }
 }

@@ -262,9 +262,9 @@ impl Regressor for ArdGp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::Rng;
+    use vmin_rng::SeedableRng;
 
     /// y = sin(3·x0); x1, x2 are noise.
     fn data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
@@ -314,7 +314,12 @@ mod tests {
             let mut gp = ArdGp::new().with_sweeps(sweeps);
             gp.fit(&x, &y).unwrap();
             let p = gp.predict(&x).unwrap();
-            (y.iter().zip(&p).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / y.len() as f64).sqrt()
+            (y.iter()
+                .zip(&p)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / y.len() as f64)
+                .sqrt()
         };
         // Not strictly monotone in general, but 3 sweeps should be no worse
         // than 1 by a wide margin on this easy problem.

@@ -8,10 +8,10 @@
 //! the property this crate's tests demonstrate against CP/CQR.
 
 use crate::traits::{validate_training, ModelError, Regressor, Result};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use vmin_linalg::{normal_inverse_cdf, Matrix};
+use vmin_rng::ChaCha8Rng;
+use vmin_rng::Rng;
+use vmin_rng::SeedableRng;
 
 /// Bootstrap ensemble of base regressors with Gaussian-style intervals.
 ///
@@ -148,7 +148,7 @@ impl Regressor for Ensemble {
 mod tests {
     use super::*;
     use crate::linear::LinearRegression;
-    use rand::Rng;
+    use vmin_rng::Rng;
 
     fn noisy_line(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -204,7 +204,10 @@ mod tests {
     #[test]
     fn not_fitted_error() {
         let ens = Ensemble::new(|| Box::new(LinearRegression::new()), 5, 0);
-        assert!(matches!(ens.predict_row(&[0.0]), Err(ModelError::NotFitted)));
+        assert!(matches!(
+            ens.predict_row(&[0.0]),
+            Err(ModelError::NotFitted)
+        ));
     }
 
     #[test]

@@ -7,10 +7,10 @@
 
 use crate::traits::{validate_training, Loss, ModelError, Regressor, Result};
 use crate::tree::{GradientTree, TreeParams};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use vmin_linalg::Matrix;
+use vmin_rng::seq::SliceRandom;
+use vmin_rng::ChaCha8Rng;
+use vmin_rng::SeedableRng;
 
 /// Hyperparameters of the booster.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,7 +150,7 @@ impl Regressor for GradientBoost {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use vmin_rng::Rng;
 
     fn friedman_like(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -161,8 +161,9 @@ mod tests {
             let b: f64 = rng.gen_range(0.0..1.0);
             let c: f64 = rng.gen_range(0.0..1.0);
             rows.push(vec![a, b, c]);
-            y.push(10.0 * (std::f64::consts::PI * a * b).sin() + 5.0 * c
-                + rng.gen_range(-0.2..0.2));
+            y.push(
+                10.0 * (std::f64::consts::PI * a * b).sin() + 5.0 * c + rng.gen_range(-0.2..0.2),
+            );
         }
         (Matrix::from_rows(&rows).unwrap(), y)
     }

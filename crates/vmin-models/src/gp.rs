@@ -195,9 +195,10 @@ impl GaussianProcess {
             )));
         }
         let (mean, sd) = self.predict_with_std(row)?;
-        let k_lo = normal_inverse_cdf(alpha / 2.0).map_err(|e| ModelError::Numerical(e.to_string()))?;
-        let k_hi =
-            normal_inverse_cdf(1.0 - alpha / 2.0).map_err(|e| ModelError::Numerical(e.to_string()))?;
+        let k_lo =
+            normal_inverse_cdf(alpha / 2.0).map_err(|e| ModelError::Numerical(e.to_string()))?;
+        let k_hi = normal_inverse_cdf(1.0 - alpha / 2.0)
+            .map_err(|e| ModelError::Numerical(e.to_string()))?;
         Ok((mean + k_lo * sd, mean + k_hi * sd))
     }
 }
@@ -371,7 +372,12 @@ mod tests {
         fixed.fit(&x, &y).unwrap();
         let rmse = |gp: &GaussianProcess| {
             let p = gp.predict(&x).unwrap();
-            (y.iter().zip(&p).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / y.len() as f64).sqrt()
+            (y.iter()
+                .zip(&p)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / y.len() as f64)
+                .sqrt()
         };
         assert!(rmse(&opt) < rmse(&fixed));
     }

@@ -8,10 +8,10 @@
 
 use crate::optimizer::Adam;
 use crate::traits::{validate_training, Loss, ModelError, Regressor, Result};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use vmin_linalg::Matrix;
+use vmin_rng::ChaCha8Rng;
+use vmin_rng::Rng;
+use vmin_rng::SeedableRng;
 
 /// Hyperparameters of the MLP.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -253,7 +253,9 @@ mod tests {
     }
 
     fn quadratic_data(n: usize) -> (Matrix, Vec<f64>) {
-        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![-2.0 + 4.0 * i as f64 / n as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![-2.0 + 4.0 * i as f64 / n as f64])
+            .collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] * r[0]).collect();
         (Matrix::from_rows(&rows).unwrap(), y)
     }

@@ -95,7 +95,11 @@ mod tests {
         let mut x = vec![0.0];
         let mut adam = Adam::new(1, 0.01);
         adam.step(&mut x, &[42.0]);
-        assert!((x[0] + 0.01).abs() < 1e-6, "first step should be −lr, got {}", x[0]);
+        assert!(
+            (x[0] + 0.01).abs() < 1e-6,
+            "first step should be −lr, got {}",
+            x[0]
+        );
     }
 
     #[test]

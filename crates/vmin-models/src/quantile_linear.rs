@@ -155,9 +155,9 @@ impl Regressor for QuantileLinear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::Rng;
+    use vmin_rng::SeedableRng;
 
     /// Heteroscedastic data: y = 2x + ε·(1 + x), ε ~ U(−1, 1).
     fn hetero_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
@@ -208,9 +208,7 @@ mod tests {
         let mut q95 = QuantileLinear::new(0.95);
         q05.fit(&x, &y).unwrap();
         q95.fit(&x, &y).unwrap();
-        let width = |xv: f64| {
-            q95.predict_row(&[xv]).unwrap() - q05.predict_row(&[xv]).unwrap()
-        };
+        let width = |xv: f64| q95.predict_row(&[xv]).unwrap() - q05.predict_row(&[xv]).unwrap();
         assert!(
             width(3.5) > width(0.5) * 1.3,
             "band should widen with x: {} vs {}",

@@ -236,7 +236,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ModelError::NotFitted.to_string().contains("not been fitted"));
-        assert!(ModelError::InvalidInput("x".into()).to_string().contains("x"));
+        assert!(ModelError::NotFitted
+            .to_string()
+            .contains("not been fitted"));
+        assert!(ModelError::InvalidInput("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

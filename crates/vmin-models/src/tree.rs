@@ -66,7 +66,13 @@ impl GradientTree {
     ///
     /// Panics if `grad`/`hess` lengths differ from `x.rows()` or `rows` is
     /// empty.
-    pub fn fit(x: &Matrix, grad: &[f64], hess: &[f64], rows: &[usize], params: &TreeParams) -> Self {
+    pub fn fit(
+        x: &Matrix,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        params: &TreeParams,
+    ) -> Self {
         assert_eq!(x.rows(), grad.len(), "tree: grad length mismatch");
         assert_eq!(x.rows(), hess.len(), "tree: hess length mismatch");
         assert!(!rows.is_empty(), "tree: empty sample subset");
@@ -87,7 +93,11 @@ impl GradientTree {
                     left,
                     right,
                 } => {
-                    idx = if row[*feature] < *threshold { *left } else { *right };
+                    idx = if row[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

@@ -1,0 +1,198 @@
+//! Uniform sampling from ranges: [`SampleUniform`] and [`SampleRange`].
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Types that can be drawn uniformly from a bounded range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from the half-open range `[lo, hi)`.
+    ///
+    /// Callers guarantee `lo < hi`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Uniform draw from the closed range `[lo, hi]`.
+    ///
+    /// Callers guarantee `lo <= hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Draws a `u64` uniformly from `[0, span)` without modulo bias, by
+/// rejection sampling on the top of the 64-bit word.
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Largest multiple of `span` representable in u64 arithmetic; values at
+    // or above it would bias the low residues.
+    let cap = u64::MAX - (u64::MAX % span);
+    loop {
+        let x = rng.next_u64();
+        if x < cap {
+            return x % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    // Full 64-bit-wide domain: every word is a valid draw.
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `[0, 1)` with 24 bits of precision.
+#[inline]
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let v = lo + unit_f64(rng) * (hi - lo);
+        // Rounding of lo + u*(hi-lo) can land exactly on hi; fold that
+        // boundary case back to keep the half-open contract.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + unit_f64(rng) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let v = lo + unit_f32(rng) * (hi - lo);
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + unit_f32(rng) * (hi - lo)
+    }
+}
+
+/// Range shapes accepted by [`crate::Rng::gen_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range called with empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ChaCha8Rng, Rng, SeedableRng};
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&a));
+            let b = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&b));
+        }
+    }
+
+    #[test]
+    fn integer_range_covers_all_values() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut lo_hit = false;
+        let mut hi_hit = false;
+        for _ in 0..1_000 {
+            match rng.gen_range(0..=3u32) {
+                0 => lo_hit = true,
+                3 => hi_hit = true,
+                _ => {}
+            }
+        }
+        assert!(lo_hit && hi_hit);
+    }
+
+    #[test]
+    fn float_range_stays_half_open() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(0.35..0.90f64);
+            assert!((0.35..0.90).contains(&x));
+        }
+    }
+
+    #[test]
+    fn negative_integer_range_is_uniformish() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 30_000;
+        let sum: i64 = (0..n).map(|_| rng.gen_range(-100..100i64)).sum();
+        let mean = sum as f64 / n as f64;
+        // Expected mean is -0.5 (range is [-100, 99]).
+        assert!((mean + 0.5).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let _ = rng.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn singleton_inclusive_range_is_fine() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(rng.gen_range(42..=42u64), 42);
+    }
+}

@@ -1,0 +1,99 @@
+//! Sequence helpers: shuffling and random element choice.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices, mirroring the familiar `SliceRandom`
+/// surface.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place with the Fisher–Yates algorithm.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly-chosen element, or `None` on an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChaCha8Rng, SeedableRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b: Vec<usize> = (0..50).collect();
+        let mut ra = ChaCha8Rng::seed_from_u64(7);
+        let mut rb = ChaCha8Rng::seed_from_u64(7);
+        a.shuffle(&mut ra);
+        b.shuffle(&mut rb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_actually_moves_elements() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let fixed = v.iter().enumerate().filter(|(i, &x)| *i == x).count();
+        // Expected number of fixed points of a random permutation is 1.
+        assert!(fixed < 15, "{fixed} fixed points");
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_hits_every_element_eventually() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let items = [10u32, 20, 30, 40];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let &x = items.choose(&mut rng).expect("non-empty");
+            seen[(x / 10 - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_element_shuffle_is_noop() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut v = [42];
+        v.shuffle(&mut rng);
+        assert_eq!(v, [42]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Small-state generators: SplitMix64 (seeding) and xoshiro256**.
+
+use crate::{RngCore, SeedableRng};
+
+/// The SplitMix64 generator of Steele, Lea and Flood.
+///
+/// Primarily the seed-expansion stream behind
+/// [`SeedableRng::seed_from_u64`], but a valid (if statistically modest)
+/// generator in its own right.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a raw 64-bit state.
+    pub fn new(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: [u8; 8]) -> Self {
+        SplitMix64::new(u64::from_le_bytes(seed))
+    }
+}
+
+/// The xoshiro256** generator of Blackman and Vigna: 256 bits of state,
+/// excellent statistical quality, very fast — the pick for
+/// throughput-sensitive inner loops where ChaCha's mixing is overkill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256StarStar {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(chunk);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // An all-zero state is a fixed point of the transition; nudge it
+        // through SplitMix64 exactly as the reference implementation
+        // recommends.
+        if s == [0, 0, 0, 0] {
+            let mut sm = SplitMix64::new(0);
+            for word in s.iter_mut() {
+                *word = sm.next_u64();
+            }
+        }
+        Xoshiro256StarStar { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        // First output for seed 0 from the public-domain splitmix64.c by
+        // Sebastiano Vigna.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn splitmix64_is_deterministic() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xoshiro_zero_seed_escapes_fixed_point() {
+        let mut rng = Xoshiro256StarStar::from_seed([0u8; 32]);
+        let words: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(words.iter().any(|&w| w != 0));
+    }
+
+    #[test]
+    fn xoshiro_streams_differ_by_seed() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(1);
+        let mut b = Xoshiro256StarStar::seed_from_u64(2);
+        let sa: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+}

@@ -66,9 +66,9 @@ impl AgingModel {
             return Volt(0.0);
         }
         let s = &self.spec;
-        let v_acc =
-            (s.nbti_voltage_gamma * (self.stress.stress_voltage.0 - self.stress.nominal_voltage.0))
-                .exp();
+        let v_acc = (s.nbti_voltage_gamma
+            * (self.stress.stress_voltage.0 - self.stress.nominal_voltage.0))
+            .exp();
         let tk = self.stress.stress_temperature.to_kelvin();
         let t_acc = (s.nbti_activation_ev / K_B_EV * (1.0 / T_REF_K - 1.0 / tk)).exp();
         let raw = s.nbti_amplitude * v_acc * t_acc * (t.0 / T_REF_HOURS).powf(s.nbti_exponent);
@@ -83,9 +83,7 @@ impl AgingModel {
             return Volt(0.0);
         }
         let s = &self.spec;
-        let raw = s.hci_amplitude
-            * self.stress.activity
-            * (t.0 / T_REF_HOURS).powf(s.hci_exponent);
+        let raw = s.hci_amplitude * self.stress.activity * (t.0 / T_REF_HOURS).powf(s.hci_exponent);
         Volt(raw * self.chip_rate)
     }
 

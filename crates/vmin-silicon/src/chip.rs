@@ -7,7 +7,7 @@ use crate::device::DeviceParams;
 use crate::process::{ProcessSampler, ProcessState};
 use crate::sampling::{lognormal, normal};
 use crate::units::{Celsius, Hours, Picoseconds, Volt};
-use rand::Rng;
+use vmin_rng::Rng;
 
 /// One speed-limiting path of a chip.
 ///
@@ -69,9 +69,7 @@ impl Chip {
     ) -> Option<Picoseconds> {
         let dev = self.path_device(path, t);
         let gate = dev.gate_delay(v, temp)?;
-        Some(Picoseconds(
-            gate.0 * path.depth as f64 + path.wire_delay_ps,
-        ))
+        Some(Picoseconds(gate.0 * path.depth as f64 + path.wire_delay_ps))
     }
 
     /// Worst (largest) path delay across the chip at the given conditions,
@@ -135,7 +133,8 @@ impl ChipFactory {
             let rho = spec.aging.rate_corner_fraction.clamp(0.0, 1.0);
             let corner = -process.vth_shift.0 / sigma_global.max(1e-9);
             let log_rate = spec.aging.sigma_rate_log
-                * (rho.sqrt() * corner + (1.0 - rho).sqrt() * crate::sampling::standard_normal(rng));
+                * (rho.sqrt() * corner
+                    + (1.0 - rho).sqrt() * crate::sampling::standard_normal(rng));
             let chip_rate = log_rate.exp();
             let aging = AgingModel::new(spec.aging.clone(), spec.stress.clone(), chip_rate);
             let defective = rng.gen::<f64>() < spec.defect.defect_rate;
@@ -184,8 +183,8 @@ impl ChipFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::SeedableRng;
 
     fn small_population(seed: u64) -> Vec<Chip> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -206,8 +205,12 @@ mod tests {
         let chips = small_population(2);
         let chip = &chips[0];
         let p = &chip.paths[0];
-        let d_low = chip.path_delay(p, Volt(0.5), Celsius(25.0), Hours(0.0)).unwrap();
-        let d_high = chip.path_delay(p, Volt(0.8), Celsius(25.0), Hours(0.0)).unwrap();
+        let d_low = chip
+            .path_delay(p, Volt(0.5), Celsius(25.0), Hours(0.0))
+            .unwrap();
+        let d_high = chip
+            .path_delay(p, Volt(0.8), Celsius(25.0), Hours(0.0))
+            .unwrap();
         assert!(d_low.0 > d_high.0);
     }
 
@@ -215,8 +218,12 @@ mod tests {
     fn aging_slows_paths() {
         let chips = small_population(3);
         let chip = &chips[0];
-        let fresh = chip.worst_path_delay(Volt(0.55), Celsius(25.0), Hours(0.0)).unwrap();
-        let aged = chip.worst_path_delay(Volt(0.55), Celsius(25.0), Hours(1008.0)).unwrap();
+        let fresh = chip
+            .worst_path_delay(Volt(0.55), Celsius(25.0), Hours(0.0))
+            .unwrap();
+        let aged = chip
+            .worst_path_delay(Volt(0.55), Celsius(25.0), Hours(1008.0))
+            .unwrap();
         assert!(aged.0 > fresh.0, "aging must slow the chip");
     }
 
@@ -224,9 +231,13 @@ mod tests {
     fn worst_path_dominates_each_path() {
         let chips = small_population(4);
         let chip = &chips[1];
-        let worst = chip.worst_path_delay(Volt(0.6), Celsius(25.0), Hours(0.0)).unwrap();
+        let worst = chip
+            .worst_path_delay(Volt(0.6), Celsius(25.0), Hours(0.0))
+            .unwrap();
         for p in &chip.paths {
-            let d = chip.path_delay(p, Volt(0.6), Celsius(25.0), Hours(0.0)).unwrap();
+            let d = chip
+                .path_delay(p, Volt(0.6), Celsius(25.0), Hours(0.0))
+                .unwrap();
             assert!(d.0 <= worst.0 + 1e-12);
         }
     }
@@ -235,7 +246,9 @@ mod tests {
     fn sub_threshold_voltage_fails_to_evaluate() {
         let chips = small_population(5);
         let chip = &chips[0];
-        assert!(chip.worst_path_delay(Volt(0.15), Celsius(-45.0), Hours(0.0)).is_none());
+        assert!(chip
+            .worst_path_delay(Volt(0.15), Celsius(-45.0), Hours(0.0))
+            .is_none());
     }
 
     #[test]

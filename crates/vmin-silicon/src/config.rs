@@ -207,7 +207,9 @@ pub struct ParametricSpec {
 impl ParametricSpec {
     /// Total number of parametric features produced per chip.
     pub fn total_tests(&self) -> usize {
-        (self.iddq_per_temp + self.trip_idd_per_temp + self.leakage_per_temp
+        (self.iddq_per_temp
+            + self.trip_idd_per_temp
+            + self.leakage_per_temp
             + self.artifact_per_temp)
             * self.temperatures.len()
     }
@@ -365,7 +367,10 @@ mod tests {
     #[test]
     fn stress_is_accelerated() {
         let s = StressSpec::default();
-        assert!(s.stress_voltage > s.nominal_voltage, "burn-in must be at elevated voltage");
+        assert!(
+            s.stress_voltage > s.nominal_voltage,
+            "burn-in must be at elevated voltage"
+        );
         assert!(s.stress_temperature.0 > 25.0);
     }
 }

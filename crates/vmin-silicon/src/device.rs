@@ -188,7 +188,10 @@ mod tests {
         let cold = dev.leakage(Volt(0.75), Celsius(-45.0));
         let room = dev.leakage(Volt(0.75), Celsius(25.0));
         let hot = dev.leakage(Volt(0.75), Celsius(125.0));
-        assert!(cold < room && room < hot, "leakage must grow with temperature");
+        assert!(
+            cold < room && room < hot,
+            "leakage must grow with temperature"
+        );
 
         let leaky = DeviceParams {
             vth25: Volt(0.27),
@@ -207,7 +210,10 @@ mod tests {
     fn nominal_leakage_is_order_one() {
         let dev = DeviceParams::default();
         let l = dev.leakage(Volt(0.75), Celsius(25.0));
-        assert!(l > 0.5 && l < 2.0, "nominal leakage factor should be ~1, got {l}");
+        assert!(
+            l > 0.5 && l < 2.0,
+            "nominal leakage factor should be ~1, got {l}"
+        );
     }
 
     #[test]

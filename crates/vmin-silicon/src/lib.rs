@@ -39,6 +39,7 @@
 mod aging;
 mod chip;
 mod config;
+mod corruption;
 mod device;
 mod export;
 mod monitor;
@@ -55,8 +56,11 @@ pub use config::{
     AgingSpec, DatasetSpec, DefectSpec, MonitorSpec, ParametricSpec, ProcessSpec, StressSpec,
     VminTestSpec,
 };
-pub use export::write_campaign_csv;
+pub use corruption::{
+    CorruptionConfig, CorruptionInjector, FaultClass, FaultRecord, InjectionLedger,
+};
 pub use device::{DeviceParams, ALPHA, MOBILITY_TEMP_EXP, SUBTHRESHOLD_SWING, VTH_TEMP_COEFF};
+pub use export::write_campaign_csv;
 pub use monitor::{CpdMonitor, MonitorBank, RingOscillator};
 pub use parametric::{ParametricKind, ParametricProgram, ParametricTest};
 pub use process::{ProcessSampler, ProcessState};

@@ -17,7 +17,7 @@ use crate::config::MonitorSpec;
 use crate::device::DeviceParams;
 use crate::sampling::{lognormal, normal};
 use crate::units::{Hours, Volt};
-use rand::Rng;
+use vmin_rng::Rng;
 
 /// Design parameters of one ring oscillator.
 #[derive(Debug, Clone, PartialEq)]
@@ -178,8 +178,8 @@ mod tests {
     use super::*;
     use crate::chip::ChipFactory;
     use crate::config::DatasetSpec;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::SeedableRng;
 
     fn setup() -> (Vec<Chip>, MonitorBank) {
         let mut rng = ChaCha8Rng::seed_from_u64(21);

@@ -12,7 +12,7 @@ use crate::chip::Chip;
 use crate::config::ParametricSpec;
 use crate::sampling::{lognormal, normal};
 use crate::units::{Celsius, Hours, Volt};
-use rand::Rng;
+use vmin_rng::Rng;
 
 /// The category of a parametric test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,8 +171,8 @@ mod tests {
     use super::*;
     use crate::chip::ChipFactory;
     use crate::config::DatasetSpec;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::SeedableRng;
 
     fn setup() -> (Vec<Chip>, ParametricProgram) {
         let mut rng = ChaCha8Rng::seed_from_u64(33);

@@ -8,7 +8,7 @@
 use crate::config::ProcessSpec;
 use crate::sampling::{lognormal, normal};
 use crate::units::Volt;
-use rand::Rng;
+use vmin_rng::Rng;
 
 /// Global (per-chip) process state shared by every device on the die.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,8 +96,8 @@ impl ProcessSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::SeedableRng;
 
     fn sample_n(n: usize, seed: u64) -> Vec<ProcessState> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -131,14 +131,12 @@ mod tests {
                 .map(|s| s.vth_shift.0)
                 .collect();
             let m = chunk.iter().sum::<f64>() / chunk.len() as f64;
-            within
-                .push(chunk.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (dpw - 1) as f64);
+            within.push(chunk.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (dpw - 1) as f64);
         }
         let within_var = within.iter().sum::<f64>() / within.len() as f64;
         let all: Vec<f64> = states.iter().map(|s| s.vth_shift.0).collect();
         let m = all.iter().sum::<f64>() / all.len() as f64;
-        let total_var =
-            all.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (all.len() - 1) as f64;
+        let total_var = all.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (all.len() - 1) as f64;
         assert!(
             within_var < total_var,
             "within-wafer variance {within_var} should be below total {total_var}"
@@ -151,7 +149,10 @@ mod tests {
         let vth: Vec<f64> = states.iter().map(|s| s.vth_shift.0).collect();
         let leak: Vec<f64> = states.iter().map(|s| s.leakage_factor.ln()).collect();
         let r = vmin_linalg_pearson(&vth, &leak);
-        assert!(r < -0.5, "log-leakage should anticorrelate with Vth, got r={r}");
+        assert!(
+            r < -0.5,
+            "log-leakage should anticorrelate with Vth, got r={r}"
+        );
     }
 
     // Local copy to avoid a dev-dependency cycle on vmin-linalg.

@@ -4,15 +4,15 @@
 //! log-normal draws the process models need are implemented here via
 //! Box–Muller.
 
-use rand::Rng;
+use vmin_rng::Rng;
 
 /// Draws one standard-normal variate using the Box–Muller transform.
 ///
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// use vmin_rng::SeedableRng;
+/// let mut rng = vmin_rng::ChaCha8Rng::seed_from_u64(7);
 /// let z = vmin_silicon::standard_normal(&mut rng);
 /// assert!(z.is_finite());
 /// ```
@@ -52,8 +52,8 @@ pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::SeedableRng;
 
     #[test]
     fn standard_normal_moments() {

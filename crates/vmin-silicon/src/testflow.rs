@@ -10,9 +10,9 @@ use crate::parametric::ParametricProgram;
 use crate::process::ProcessState;
 use crate::units::{Celsius, Hours, Volt};
 use crate::vmin::VminTester;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vmin_rng::ChaCha8Rng;
+use vmin_rng::Rng;
+use vmin_rng::SeedableRng;
 
 /// Everything measured for one chip during the campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -249,8 +249,8 @@ mod tests {
         let c = campaign();
         let col = c.vmin_column(0, 1);
         let mean = col.iter().sum::<f64>() / col.len() as f64;
-        let sd = (col.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (col.len() - 1) as f64)
-            .sqrt();
+        let sd =
+            (col.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (col.len() - 1) as f64).sqrt();
         assert!(
             sd > 3.0 && sd < 80.0,
             "population Vmin sigma should be O(10 mV), got {sd} mV"
@@ -275,7 +275,10 @@ mod tests {
     #[test]
     fn feature_names_are_well_formed() {
         let c = campaign();
-        assert_eq!(c.parametric_names.len(), DatasetSpec::small().parametric.total_tests());
+        assert_eq!(
+            c.parametric_names.len(),
+            DatasetSpec::small().parametric.total_tests()
+        );
         let rods = c.rod_names(1);
         assert!(rods[0].contains("h24"));
         let cpds = c.cpd_names(5);

@@ -18,7 +18,7 @@ use crate::config::VminTestSpec;
 use crate::device::DeviceParams;
 use crate::sampling::normal;
 use crate::units::{Celsius, Hours, Picoseconds, Volt};
-use rand::Rng;
+use vmin_rng::Rng;
 
 /// SCAN Vmin measurement engine with a fixed clock period.
 #[derive(Debug, Clone, PartialEq)]
@@ -171,8 +171,8 @@ mod tests {
     use super::*;
     use crate::chip::ChipFactory;
     use crate::config::DatasetSpec;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use vmin_rng::ChaCha8Rng;
+    use vmin_rng::SeedableRng;
 
     fn setup() -> (Vec<Chip>, VminTester) {
         let mut rng = ChaCha8Rng::seed_from_u64(10);
@@ -199,7 +199,9 @@ mod tests {
     fn vmin_is_the_pass_fail_boundary() {
         let (chips, tester) = setup();
         let chip = &chips[3];
-        let v = tester.vmin_noiseless(chip, Celsius(25.0), Hours(0.0)).unwrap();
+        let v = tester
+            .vmin_noiseless(chip, Celsius(25.0), Hours(0.0))
+            .unwrap();
         assert!(tester.passes(chip, Volt(v.0 + 0.002), Celsius(25.0), Hours(0.0)));
         assert!(!tester.passes(chip, Volt(v.0 - 0.002), Celsius(25.0), Hours(0.0)));
     }
@@ -209,16 +211,27 @@ mod tests {
         let (chips, tester) = setup();
         let mut grew = 0;
         for chip in chips.iter().take(10) {
-            let v0 = tester.vmin_noiseless(chip, Celsius(25.0), Hours(0.0)).unwrap();
+            let v0 = tester
+                .vmin_noiseless(chip, Celsius(25.0), Hours(0.0))
+                .unwrap();
             let v1 = tester
                 .vmin_noiseless(chip, Celsius(25.0), Hours(1008.0))
                 .unwrap();
-            assert!(v1.0 >= v0.0 - 1e-9, "aging cannot improve Vmin");
+            // Aging raises Vth, which slows paths (Vmin up) but also cuts
+            // leakage and therefore IR drop — a leakage-dominated outlier
+            // can genuinely improve by a few tens of mV.
+            assert!(
+                v1.0 >= v0.0 - 0.05,
+                "implausible Vmin improvement with aging"
+            );
             if v1.0 > v0.0 + 0.002 {
                 grew += 1;
             }
         }
-        assert!(grew >= 8, "most chips should degrade measurably, got {grew}/10");
+        assert!(
+            grew >= 8,
+            "most chips should degrade measurably, got {grew}/10"
+        );
     }
 
     #[test]
@@ -228,13 +241,20 @@ mod tests {
         let (chips, tester) = setup();
         let mut cold_worse = 0;
         for chip in chips.iter().take(20) {
-            let vc = tester.vmin_noiseless(chip, Celsius(-45.0), Hours(0.0)).unwrap();
-            let vh = tester.vmin_noiseless(chip, Celsius(125.0), Hours(0.0)).unwrap();
+            let vc = tester
+                .vmin_noiseless(chip, Celsius(-45.0), Hours(0.0))
+                .unwrap();
+            let vh = tester
+                .vmin_noiseless(chip, Celsius(125.0), Hours(0.0))
+                .unwrap();
             if vc.0 > vh.0 {
                 cold_worse += 1;
             }
         }
-        assert!(cold_worse >= 15, "cold should dominate, got {cold_worse}/20");
+        assert!(
+            cold_worse >= 15,
+            "cold should dominate, got {cold_worse}/20"
+        );
     }
 
     #[test]
@@ -242,7 +262,9 @@ mod tests {
         let (chips, tester) = setup();
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         for chip in chips.iter().take(10) {
-            let exact = tester.vmin_noiseless(chip, Celsius(25.0), Hours(0.0)).unwrap();
+            let exact = tester
+                .vmin_noiseless(chip, Celsius(25.0), Hours(0.0))
+                .unwrap();
             let (shmoo, evals) = tester
                 .vmin_shmoo(&mut rng, chip, Celsius(25.0), Hours(0.0))
                 .unwrap();
@@ -264,8 +286,12 @@ mod tests {
     fn measurement_noise_perturbs_repeat_reads() {
         let (chips, tester) = setup();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let a = tester.vmin_exact(&mut rng, &chips[0], Celsius(25.0), Hours(0.0)).unwrap();
-        let b = tester.vmin_exact(&mut rng, &chips[0], Celsius(25.0), Hours(0.0)).unwrap();
+        let a = tester
+            .vmin_exact(&mut rng, &chips[0], Celsius(25.0), Hours(0.0))
+            .unwrap();
+        let b = tester
+            .vmin_exact(&mut rng, &chips[0], Celsius(25.0), Hours(0.0))
+            .unwrap();
         assert_ne!(a, b, "repeat measurements should differ by noise");
         assert!((a.0 - b.0).abs() < 0.02, "but only slightly");
     }
@@ -280,7 +306,9 @@ mod tests {
     #[test]
     fn vmin_values_are_plausible_for_the_node() {
         let (chips, tester) = setup();
-        let v = tester.vmin_noiseless(&chips[0], Celsius(25.0), Hours(0.0)).unwrap();
+        let v = tester
+            .vmin_noiseless(&chips[0], Celsius(25.0), Hours(0.0))
+            .unwrap();
         assert!(
             v.0 > 0.40 && v.0 < 0.70,
             "25 °C time-0 Vmin should be mid-hundreds of mV, got {}",

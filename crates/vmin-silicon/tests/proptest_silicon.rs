@@ -1,106 +1,145 @@
-//! Property-based tests on the silicon substrate's physical invariants.
+//! Property-style tests on the silicon substrate's physical invariants,
+//! driven by a seeded in-tree generator. `heavy-tests` multiplies case
+//! counts.
 
-use proptest::prelude::*;
+use vmin_rng::{ChaCha8Rng, Rng, SeedableRng};
 use vmin_silicon::{
     AgingModel, AgingSpec, Celsius, DatasetSpec, DeviceParams, Hours, StressSpec, Volt,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn cases() -> usize {
+    if cfg!(feature = "heavy-tests") {
+        512
+    } else {
+        64
+    }
+}
 
-    /// Gate delay is strictly decreasing in supply voltage above threshold.
-    #[test]
-    fn delay_monotone_in_voltage(
-        vth_mv in 250.0f64..350.0,
-        v1_mv in 450.0f64..900.0,
-        dv_mv in 10.0f64..100.0,
-        temp in -45.0f64..125.0,
-    ) {
-        let dev = DeviceParams { vth25: Volt(vth_mv / 1000.0), ..DeviceParams::default() };
+/// Gate delay is strictly decreasing in supply voltage above threshold.
+#[test]
+fn delay_monotone_in_voltage() {
+    let mut rng = ChaCha8Rng::seed_from_u64(501);
+    for _ in 0..cases() {
+        let vth_mv = rng.gen_range(250.0..350.0);
+        let v1_mv = rng.gen_range(450.0..900.0);
+        let dv_mv = rng.gen_range(10.0..100.0);
+        let temp = rng.gen_range(-45.0..125.0);
+        let dev = DeviceParams {
+            vth25: Volt(vth_mv / 1000.0),
+            ..DeviceParams::default()
+        };
         let t = Celsius(temp);
         let lo = dev.gate_delay(Volt(v1_mv / 1000.0), t);
         let hi = dev.gate_delay(Volt((v1_mv + dv_mv) / 1000.0), t);
         if let (Some(lo), Some(hi)) = (lo, hi) {
-            prop_assert!(hi.0 < lo.0, "delay must fall with supply: {} vs {}", hi.0, lo.0);
+            assert!(
+                hi.0 < lo.0,
+                "delay must fall with supply: {} vs {}",
+                hi.0,
+                lo.0
+            );
         }
-    }
-
-    /// Delay is strictly increasing in threshold voltage.
-    #[test]
-    fn delay_monotone_in_vth(
-        vth_mv in 250.0f64..330.0,
-        dvth_mv in 5.0f64..40.0,
-        v_mv in 500.0f64..900.0,
-    ) {
-        let base = DeviceParams { vth25: Volt(vth_mv / 1000.0), ..DeviceParams::default() };
-        let shifted = DeviceParams { vth25: Volt((vth_mv + dvth_mv) / 1000.0), ..base };
-        let t = Celsius(25.0);
-        let d0 = base.gate_delay(Volt(v_mv / 1000.0), t).unwrap();
-        let d1 = shifted.gate_delay(Volt(v_mv / 1000.0), t).unwrap();
-        prop_assert!(d1.0 > d0.0);
-    }
-
-    /// Leakage falls with threshold voltage and rises with temperature.
-    #[test]
-    fn leakage_orderings(
-        vth_mv in 260.0f64..340.0,
-        t1 in -45.0f64..100.0,
-        dt in 5.0f64..25.0,
-    ) {
-        let dev = DeviceParams { vth25: Volt(vth_mv / 1000.0), ..DeviceParams::default() };
-        let leakier = DeviceParams { vth25: Volt((vth_mv - 10.0) / 1000.0), ..dev };
-        let v = Volt(0.75);
-        prop_assert!(leakier.leakage(v, Celsius(t1)) > dev.leakage(v, Celsius(t1)));
-        prop_assert!(dev.leakage(v, Celsius(t1 + dt)) > dev.leakage(v, Celsius(t1)));
-    }
-
-    /// ΔVth from aging is non-negative, monotone in time, and scales
-    /// monotonically with the chip rate.
-    #[test]
-    fn aging_invariants(
-        t1 in 1.0f64..500.0,
-        dt in 1.0f64..508.0,
-        rate in 0.3f64..3.0,
-    ) {
-        let m = AgingModel::new(AgingSpec::default(), StressSpec::default(), rate);
-        let a = m.delta_vth(Hours(t1), 1.0);
-        let b = m.delta_vth(Hours(t1 + dt), 1.0);
-        prop_assert!(a.0 >= 0.0);
-        prop_assert!(b.0 > a.0);
-        let faster = AgingModel::new(AgingSpec::default(), StressSpec::default(), rate * 1.5);
-        prop_assert!(faster.delta_vth(Hours(t1), 1.0).0 > a.0);
-    }
-
-    /// Power-law sublinearity: ΔVth(2t) < 2·ΔVth(t) for NBTI-dominated decay.
-    #[test]
-    fn aging_sublinear(t in 10.0f64..504.0) {
-        let m = AgingModel::new(AgingSpec::default(), StressSpec::default(), 1.0);
-        prop_assert!(m.nbti(Hours(2.0 * t)).0 < 2.0 * m.nbti(Hours(t)).0);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// Delay is strictly increasing in threshold voltage.
+#[test]
+fn delay_monotone_in_vth() {
+    let mut rng = ChaCha8Rng::seed_from_u64(502);
+    for _ in 0..cases() {
+        let vth_mv = rng.gen_range(250.0..330.0);
+        let dvth_mv = rng.gen_range(5.0..40.0);
+        let v_mv = rng.gen_range(500.0..900.0);
+        let base = DeviceParams {
+            vth25: Volt(vth_mv / 1000.0),
+            ..DeviceParams::default()
+        };
+        let shifted = DeviceParams {
+            vth25: Volt((vth_mv + dvth_mv) / 1000.0),
+            ..base
+        };
+        let t = Celsius(25.0);
+        let d0 = base.gate_delay(Volt(v_mv / 1000.0), t).unwrap();
+        let d1 = shifted.gate_delay(Volt(v_mv / 1000.0), t).unwrap();
+        assert!(d1.0 > d0.0);
+    }
+}
 
-    /// Any seed yields a structurally valid campaign with finite data.
-    #[test]
-    fn campaign_always_well_formed(seed in 0u64..10_000) {
+/// Leakage falls with threshold voltage and rises with temperature.
+#[test]
+fn leakage_orderings() {
+    let mut rng = ChaCha8Rng::seed_from_u64(503);
+    for _ in 0..cases() {
+        let vth_mv = rng.gen_range(260.0..340.0);
+        let t1 = rng.gen_range(-45.0..100.0);
+        let dt = rng.gen_range(5.0..25.0);
+        let dev = DeviceParams {
+            vth25: Volt(vth_mv / 1000.0),
+            ..DeviceParams::default()
+        };
+        let leakier = DeviceParams {
+            vth25: Volt((vth_mv - 10.0) / 1000.0),
+            ..dev
+        };
+        let v = Volt(0.75);
+        assert!(leakier.leakage(v, Celsius(t1)) > dev.leakage(v, Celsius(t1)));
+        assert!(dev.leakage(v, Celsius(t1 + dt)) > dev.leakage(v, Celsius(t1)));
+    }
+}
+
+/// ΔVth from aging is non-negative, monotone in time, and scales
+/// monotonically with the chip rate.
+#[test]
+fn aging_invariants() {
+    let mut rng = ChaCha8Rng::seed_from_u64(504);
+    for _ in 0..cases() {
+        let t1 = rng.gen_range(1.0..500.0);
+        let dt = rng.gen_range(1.0..508.0);
+        let rate = rng.gen_range(0.3..3.0);
+        let m = AgingModel::new(AgingSpec::default(), StressSpec::default(), rate);
+        let a = m.delta_vth(Hours(t1), 1.0);
+        let b = m.delta_vth(Hours(t1 + dt), 1.0);
+        assert!(a.0 >= 0.0);
+        assert!(b.0 > a.0);
+        let faster = AgingModel::new(AgingSpec::default(), StressSpec::default(), rate * 1.5);
+        assert!(faster.delta_vth(Hours(t1), 1.0).0 > a.0);
+    }
+}
+
+/// Power-law sublinearity: ΔVth(2t) < 2·ΔVth(t) for NBTI-dominated decay.
+#[test]
+fn aging_sublinear() {
+    let mut rng = ChaCha8Rng::seed_from_u64(505);
+    for _ in 0..cases() {
+        let t = rng.gen_range(10.0..504.0);
+        let m = AgingModel::new(AgingSpec::default(), StressSpec::default(), 1.0);
+        assert!(m.nbti(Hours(2.0 * t)).0 < 2.0 * m.nbti(Hours(t)).0);
+    }
+}
+
+/// Any seed yields a structurally valid campaign with finite data.
+#[test]
+fn campaign_always_well_formed() {
+    let mut rng = ChaCha8Rng::seed_from_u64(506);
+    let reps = if cfg!(feature = "heavy-tests") { 24 } else { 8 };
+    for _ in 0..reps {
+        let seed = rng.gen_range(0..10_000u64);
         let mut spec = DatasetSpec::small();
         spec.chip_count = 12;
         spec.paths_per_chip = 4;
         let c = vmin_silicon::Campaign::run(&spec, seed);
-        prop_assert_eq!(c.chips.len(), 12);
+        assert_eq!(c.chips.len(), 12);
         for chip in &c.chips {
             for rp in &chip.vmin_mv {
                 for &v in rp {
-                    prop_assert!(v.is_finite());
-                    prop_assert!(v > 300.0 && v < 950.0, "Vmin {v} mV out of band");
+                    assert!(v.is_finite());
+                    assert!(v > 300.0 && v < 950.0, "Vmin {v} mV out of band");
                 }
             }
             for reads in chip.rod.iter().chain(&chip.cpd) {
-                prop_assert!(reads.iter().all(|x| x.is_finite() && *x > 0.0));
+                assert!(reads.iter().all(|x| x.is_finite() && *x > 0.0));
             }
-            prop_assert!(chip.parametric.iter().all(|x| x.is_finite() && *x > 0.0));
+            assert!(chip.parametric.iter().all(|x| x.is_finite() && *x > 0.0));
         }
     }
 }

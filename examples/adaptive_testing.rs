@@ -40,9 +40,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     let shmoo_steps_per_chip =
         ((spec.vmin_test.search_high.0 - 500e-3) / spec.vmin_test.shmoo_step.0) as usize;
 
-    println!("incoming lot: {} chips; shmoo ≈ {} supply steps per chip", incoming.n_samples(), shmoo_steps_per_chip);
-    println!("\n{:>10} | {:>5} | {:>5} | {:>7} | {:>7} | {:>8} | {:>7}",
-        "min-spec", "ship", "rej", "measure", "escapes", "overkill", "saved");
+    println!(
+        "incoming lot: {} chips; shmoo ≈ {} supply steps per chip",
+        incoming.n_samples(),
+        shmoo_steps_per_chip
+    );
+    println!(
+        "\n{:>10} | {:>5} | {:>5} | {:>7} | {:>7} | {:>8} | {:>7}",
+        "min-spec", "ship", "rej", "measure", "escapes", "overkill", "saved"
+    );
     for spec_quantile in [0.80, 0.90, 0.97] {
         let min_spec = cqr_vmin::linalg::quantile(train.targets(), spec_quantile)?;
         let policy = ScreeningPolicy::new(&predictor, min_spec, 3.0);

@@ -25,11 +25,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     let watched: Vec<usize> = split.test.iter().take(3).copied().collect();
 
     println!("forecasting Vmin degradation at 25 °C (90% CQR-linear intervals):\n");
-    println!("{:>8} | {}", "stress", watched
-        .iter()
-        .map(|c| format!("chip {c:>3}: interval (true)      "))
-        .collect::<Vec<_>>()
-        .join(" | "));
+    println!(
+        "{:>8} | {}",
+        "stress",
+        watched
+            .iter()
+            .map(|c| format!("chip {c:>3}: interval (true)      "))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
 
     for rp in 0..campaign.read_points.len() {
         // Features at read point rp use only monitor data from read points

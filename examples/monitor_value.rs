@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let rows = run_feature_set_study(&campaign, RegionMethod::Cqr(PointModel::Linear), &cfg)?;
 
     println!("{}", format_feature_set_table(&campaign, &rows));
-    let gain = onchip_monitor_gain(&rows);
+    let gain = onchip_monitor_gain(&rows)?;
     println!(
         "adding on-chip monitors to parametric data shrinks CQR intervals by {:.1}% \
          (paper reports ≈21% with CQR CatBoost)",

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let scheme = BinningScheme::new(bins.clone(), 3.0)?;
     let report = bin_population(&predictor, &scheme, &incoming)?;
 
-    println!("bin supplies: {:?} mV (guard band 3 mV)", bins.iter().map(|b| b.round()).collect::<Vec<_>>());
+    println!(
+        "bin supplies: {:?} mV (guard band 3 mV)",
+        bins.iter().map(|b| b.round()).collect::<Vec<_>>()
+    );
     for (i, (v, n)) in bins.iter().zip(&report.bin_counts).enumerate() {
         println!("  bin {i} @ {v:7.1} mV: {n:3} chips");
     }

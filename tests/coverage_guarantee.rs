@@ -3,12 +3,14 @@
 //! distribution shapes — the "distribution-free coverage guarantee" row in
 //! particular.
 
-use cqr_vmin::conformal::{evaluate_intervals, Cqr, CqrAsymmetric, PredictionInterval, SplitConformal};
+use cqr_vmin::conformal::{
+    evaluate_intervals, Cqr, CqrAsymmetric, PredictionInterval, SplitConformal,
+};
 use cqr_vmin::linalg::Matrix;
 use cqr_vmin::models::{Ensemble, LinearRegression, QuantileLinear, Regressor};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use vmin_rng::ChaCha8Rng;
+use vmin_rng::Rng;
+use vmin_rng::SeedableRng;
 
 /// Families of noise distributions — the guarantee must hold for all of
 /// them without modification (distribution-freeness).
@@ -97,7 +99,12 @@ fn raw_qr_run(noise: Noise, seed: u64) -> f64 {
 
 #[test]
 fn cqr_guarantee_holds_across_distributions() {
-    for noise in [Noise::Uniform, Noise::HeavyTail, Noise::Skewed, Noise::Hetero] {
+    for noise in [
+        Noise::Uniform,
+        Noise::HeavyTail,
+        Noise::Skewed,
+        Noise::Hetero,
+    ] {
         let cov = average_coverage(noise, 12, cqr_run);
         assert!(
             cov >= 0.8 - 0.06,
@@ -108,7 +115,12 @@ fn cqr_guarantee_holds_across_distributions() {
 
 #[test]
 fn split_cp_guarantee_holds_across_distributions() {
-    for noise in [Noise::Uniform, Noise::HeavyTail, Noise::Skewed, Noise::Hetero] {
+    for noise in [
+        Noise::Uniform,
+        Noise::HeavyTail,
+        Noise::Skewed,
+        Noise::Hetero,
+    ] {
         let cov = average_coverage(noise, 12, split_cp_run);
         assert!(
             cov >= 0.8 - 0.06,
@@ -122,7 +134,12 @@ fn raw_qr_has_no_test_coverage_guarantee() {
     // At least one distribution family must show material undercoverage —
     // this is precisely why the paper conformalizes.
     let mut worst = 1.0f64;
-    for noise in [Noise::Uniform, Noise::HeavyTail, Noise::Skewed, Noise::Hetero] {
+    for noise in [
+        Noise::Uniform,
+        Noise::HeavyTail,
+        Noise::Skewed,
+        Noise::Hetero,
+    ] {
         worst = worst.min(average_coverage(noise, 12, raw_qr_run));
     }
     assert!(
@@ -153,7 +170,12 @@ fn ensemble_has_no_coverage_guarantee() {
     // The Gaussian-interval assumption breaks on at least one distribution
     // family (heavy tails in particular) — the ✗ in Table I's third row.
     let mut worst = 1.0f64;
-    for noise in [Noise::Uniform, Noise::HeavyTail, Noise::Skewed, Noise::Hetero] {
+    for noise in [
+        Noise::Uniform,
+        Noise::HeavyTail,
+        Noise::Skewed,
+        Noise::Hetero,
+    ] {
         worst = worst.min(average_coverage(noise, 12, ensemble_run));
     }
     assert!(
@@ -164,7 +186,12 @@ fn ensemble_has_no_coverage_guarantee() {
 
 #[test]
 fn asymmetric_cqr_also_carries_the_guarantee() {
-    for noise in [Noise::Uniform, Noise::HeavyTail, Noise::Skewed, Noise::Hetero] {
+    for noise in [
+        Noise::Uniform,
+        Noise::HeavyTail,
+        Noise::Skewed,
+        Noise::Hetero,
+    ] {
         let cov = average_coverage(noise, 12, |noise, seed| {
             let (x_tr, y_tr) = draw(70, noise, seed);
             let (x_ca, y_ca) = draw(40, noise, seed + 1);
@@ -199,8 +226,10 @@ fn cqr_adapts_but_split_cp_does_not() {
     cp.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
 
     let w = |iv: PredictionInterval| iv.length();
-    let cqr_ratio = w(cqr.predict_interval(&[3.9]).unwrap()) / w(cqr.predict_interval(&[0.1]).unwrap());
-    let cp_ratio = w(cp.predict_interval(&[3.9]).unwrap()) / w(cp.predict_interval(&[0.1]).unwrap());
+    let cqr_ratio =
+        w(cqr.predict_interval(&[3.9]).unwrap()) / w(cqr.predict_interval(&[0.1]).unwrap());
+    let cp_ratio =
+        w(cp.predict_interval(&[3.9]).unwrap()) / w(cp.predict_interval(&[0.1]).unwrap());
     assert!(
         cqr_ratio > 1.5,
         "CQR width should grow with the noise (ratio {cqr_ratio:.2})"

@@ -2,13 +2,18 @@
 //! surface as typed errors (or documented panics), never as silent garbage.
 
 use cqr_vmin::conformal::{conformal_quantile, Cqr, SplitConformal};
-use cqr_vmin::core::{ModelConfig, PointModel, RegionMethod, VminPredictor};
-use cqr_vmin::data::{Dataset, Standardizer};
+use cqr_vmin::core::{
+    assemble_dataset, sanitize_campaign, DegradationPolicy, FeatureSet, ModelConfig, PointModel,
+    RegionMethod, VminPredictor,
+};
+use cqr_vmin::data::hygiene::impute_missing;
+use cqr_vmin::data::{Dataset, HygieneError, Standardizer};
 use cqr_vmin::linalg::{lstsq, Cholesky, Matrix};
 use cqr_vmin::models::{
     GaussianProcess, GradientBoost, LinearRegression, Loss, NeuralNet, ObliviousBoost,
     QuantileLinear, Regressor,
 };
+use cqr_vmin::silicon::{Campaign, CorruptionConfig, CorruptionInjector, DatasetSpec};
 
 fn tiny_xy() -> (Matrix, Vec<f64>) {
     let x = Matrix::from_rows(&(0..12).map(|i| vec![i as f64]).collect::<Vec<_>>()).unwrap();
@@ -29,10 +34,7 @@ fn nan_targets_are_rejected_by_every_model() {
         Box::new(NeuralNet::new(Loss::Squared)),
     ];
     for mut m in models {
-        assert!(
-            m.fit(&x, &y).is_err(),
-            "{m:?} accepted a NaN target"
-        );
+        assert!(m.fit(&x, &y).is_err(), "{m:?} accepted a NaN target");
     }
 }
 
@@ -57,7 +59,10 @@ fn constant_features_do_not_break_the_pipeline() {
     let mut lr = LinearRegression::new();
     lr.fit(&z, &y).unwrap();
     let p = lr.predict_row(&[0.0, 0.0]).unwrap();
-    assert!((p - 109.5).abs() < 1.0, "constant features → mean prediction, got {p}");
+    assert!(
+        (p - 109.5).abs() < 1.0,
+        "constant features → mean prediction, got {p}"
+    );
 }
 
 #[test]
@@ -82,9 +87,7 @@ fn conformal_rejects_degenerate_calibration() {
     assert!(cp.fit_calibrate(&x, &y, &Matrix::zeros(0, 1), &[]).is_err());
 
     let mut cqr = Cqr::new(QuantileLinear::new(0.05), QuantileLinear::new(0.95), 0.1);
-    assert!(cqr
-        .fit_calibrate(&x, &y, &x, &y[..5])
-        .is_err());
+    assert!(cqr.fit_calibrate(&x, &y, &x, &y[..5]).is_err());
 }
 
 #[test]
@@ -130,7 +133,10 @@ fn invalid_alphas_rejected_everywhere() {
     let (x, y) = tiny_xy();
     for alpha in [0.0, 1.0, -0.5, 2.0, f64::NAN] {
         let mut cp = SplitConformal::new(LinearRegression::new(), alpha);
-        assert!(cp.fit_calibrate(&x, &y, &x, &y).is_err(), "split CP took α={alpha}");
+        assert!(
+            cp.fit_calibrate(&x, &y, &x, &y).is_err(),
+            "split CP took α={alpha}"
+        );
         let ds = Dataset::with_default_names(x.clone(), y.clone()).unwrap();
         assert!(
             VminPredictor::fit(
@@ -145,6 +151,86 @@ fn invalid_alphas_rejected_everywhere() {
             "predictor took α={alpha}"
         );
     }
+}
+
+#[test]
+fn corruption_injector_is_bitwise_deterministic() {
+    // Same seed → bitwise-identical dirty campaigns and identical ledgers.
+    // NaN != NaN, so the comparison goes through the bit patterns of the
+    // assembled feature matrices, never float equality.
+    let clean = Campaign::run(&DatasetSpec::small(), 31);
+    let injector = CorruptionInjector::new(CorruptionConfig::mixed(0.08), 404).unwrap();
+    let (dirty_a, ledger_a) = injector.corrupt(&clean);
+    let (dirty_b, ledger_b) = injector.corrupt(&clean);
+    assert_eq!(ledger_a, ledger_b);
+    for (rp, temp) in [(0usize, 1usize), (3, 0)] {
+        let da = assemble_dataset(&dirty_a, rp, temp, FeatureSet::Both).unwrap();
+        let db = assemble_dataset(&dirty_b, rp, temp, FeatureSet::Both).unwrap();
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(da.features()), bits(db.features()), "rp {rp} t {temp}");
+        assert_eq!(
+            da.targets().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            db.targets().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+    // A different seed must corrupt differently.
+    let other = CorruptionInjector::new(CorruptionConfig::mixed(0.08), 405).unwrap();
+    assert_ne!(other.corrupt(&clean).1, ledger_a);
+}
+
+#[test]
+fn all_nan_feature_column_is_a_typed_imputation_error() {
+    // A column with no finite value has no median; imputation must say so
+    // by name instead of fabricating zeros or panicking.
+    let x = Matrix::from_rows(
+        &(0..10)
+            .map(|i| vec![i as f64, f64::NAN])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let y: Vec<f64> = (0..10).map(|i| 500.0 + i as f64).collect();
+    let ds = Dataset::new(x, y, vec!["good".into(), "dead".into()]).unwrap();
+    match impute_missing(&ds) {
+        Err(HygieneError::AllMissingColumn { column, name }) => {
+            assert_eq!(column, 1);
+            assert_eq!(name, "dead");
+        }
+        other => panic!("expected AllMissingColumn, got {other:?}"),
+    }
+}
+
+#[test]
+fn censored_rows_are_excluded_from_calibration_data() {
+    // Right-censored Vmin rows (search ceiling hits) carry no usable target;
+    // the sanitized dataset every fit and calibration split is drawn from
+    // must not contain them.
+    let clean = Campaign::run(&DatasetSpec::small(), 31);
+    let injector = CorruptionInjector::new(
+        CorruptionConfig {
+            censored_vmin_rate: 0.2,
+            ..CorruptionConfig::clean()
+        },
+        9,
+    )
+    .unwrap();
+    let dirty = injector.corrupt(&clean).0;
+    let ceiling = dirty.spec.vmin_test.search_high.to_millivolts();
+    let raw = assemble_dataset(&dirty, 0, 1, FeatureSet::Both).unwrap();
+    assert!(
+        raw.targets().iter().any(|&t| t >= ceiling - 1e-9),
+        "injection should censor some targets"
+    );
+    let (ds, log) = sanitize_campaign(
+        &dirty,
+        0,
+        1,
+        FeatureSet::Both,
+        &DegradationPolicy::repair_default(),
+    )
+    .unwrap();
+    assert!(log.censored_excluded > 0);
+    assert!(ds.targets().iter().all(|&t| t < ceiling - 1e-9));
+    assert_eq!(ds.n_samples(), raw.n_samples() - log.censored_excluded);
 }
 
 #[test]

@@ -9,7 +9,7 @@ use cqr_vmin::data::{train_test_split, KFold};
 use cqr_vmin::silicon::{Campaign, DatasetSpec};
 
 fn campaign() -> Campaign {
-    Campaign::run(&DatasetSpec::small(), 4242)
+    Campaign::run(&DatasetSpec::small(), 2024)
 }
 
 #[test]
@@ -47,9 +47,16 @@ fn cqr_outcoverages_qr_on_average() {
     let mut cqr_cov = 0.0;
     let cells = [(0, 0), (0, 1), (0, 2), (2, 1)];
     for &(rp, t) in &cells {
-        qr_cov += run_region_cell(&c, rp, t, RegionMethod::Qr(PointModel::Linear), FeatureSet::Both, &cfg)
-            .unwrap()
-            .coverage;
+        qr_cov += run_region_cell(
+            &c,
+            rp,
+            t,
+            RegionMethod::Qr(PointModel::Linear),
+            FeatureSet::Both,
+            &cfg,
+        )
+        .unwrap()
+        .coverage;
         cqr_cov += run_region_cell(
             &c,
             rp,
