@@ -10,8 +10,20 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> tier-1: cargo build --release && cargo test -q"
+echo "==> tier-1: cargo build --release && cargo test -q (default thread pool)"
 cargo build --release
 cargo test -q
+
+echo "==> tier-1 again, pinned serial (VMIN_THREADS=1)"
+VMIN_THREADS=1 cargo test -q
+
+echo "==> bench smoke: par_speedup writes BENCH_PR2.json"
+VMIN_BENCH_JSON=BENCH_PR2.json VMIN_BENCH_SAMPLES=3 \
+    cargo bench -p vmin-bench --bench par_speedup
+test -s BENCH_PR2.json
+grep -q '"threads":' BENCH_PR2.json
+grep -q '"id": "matmul_serial"' BENCH_PR2.json
+grep -q '"id": "campaign_small_parallel"' BENCH_PR2.json
+grep -q '"id": "table3_region_cell_parallel"' BENCH_PR2.json
 
 echo "CI green."

@@ -1,0 +1,85 @@
+//! Serial-vs-parallel timing for the three hot paths the `vmin-par` layer
+//! accelerates: the tiled matmul kernel, the silicon campaign simulation,
+//! and a Table III region-prediction cell.
+//!
+//! Each workload is timed twice — pinned to one thread via
+//! `vmin_par::with_threads(1, ..)` and on the default pool — so the JSON
+//! report (`VMIN_BENCH_JSON=BENCH_PR2.json cargo bench -p vmin-bench
+//! --bench par_speedup`) exposes the speedup next to the thread count. On a
+//! single-core host the two numbers coincide by construction: the pool
+//! falls back to the serial path.
+
+use vmin_bench::harness::Criterion;
+use vmin_bench::{criterion_group, criterion_main};
+use vmin_core::{run_region_cell, ExperimentConfig, FeatureSet, PointModel, RegionMethod};
+use vmin_linalg::Matrix;
+use vmin_silicon::{Campaign, DatasetSpec};
+
+/// Deterministic dense test matrix (same LCG family as the linalg tests).
+fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+fn bench_par_speedup(c: &mut Criterion) {
+    let a = pseudo_random(160, 220, 11);
+    let b = pseudo_random(220, 140, 12);
+    let campaign = Campaign::run(&DatasetSpec::small(), 7);
+    let cfg = ExperimentConfig::fast();
+
+    let mut group = c.benchmark_group("par_speedup");
+    group.sample_size(10);
+
+    group.bench_function("matmul_serial", |bch| {
+        bch.iter(|| vmin_par::with_threads(1, || a.matmul(&b).unwrap()))
+    });
+    group.bench_function("matmul_parallel", |bch| bch.iter(|| a.matmul(&b).unwrap()));
+
+    group.bench_function("campaign_small_serial", |bch| {
+        bch.iter(|| vmin_par::with_threads(1, || Campaign::run(&DatasetSpec::small(), 7)))
+    });
+    group.bench_function("campaign_small_parallel", |bch| {
+        bch.iter(|| Campaign::run(&DatasetSpec::small(), 7))
+    });
+
+    group.bench_function("table3_region_cell_serial", |bch| {
+        bch.iter(|| {
+            vmin_par::with_threads(1, || {
+                run_region_cell(
+                    &campaign,
+                    0,
+                    1,
+                    RegionMethod::Cqr(PointModel::Linear),
+                    FeatureSet::Both,
+                    &cfg,
+                )
+                .unwrap()
+            })
+        })
+    });
+    group.bench_function("table3_region_cell_parallel", |bch| {
+        bch.iter(|| {
+            run_region_cell(
+                &campaign,
+                0,
+                1,
+                RegionMethod::Cqr(PointModel::Linear),
+                FeatureSet::Both,
+                &cfg,
+            )
+            .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_par_speedup);
+criterion_main!(benches);

@@ -15,8 +15,30 @@
 //!   exercised but stays fast.
 //!
 //! `VMIN_BENCH_SAMPLES` overrides the per-benchmark sample count.
+//!
+//! When `VMIN_BENCH_JSON` names a path, the final summary also writes every
+//! recorded benchmark (min/median/mean in nanoseconds, sample count) plus
+//! the active `vmin-par` thread count to that path as JSON — both in bench
+//! mode and in smoke mode, where the single pass is timed as one sample.
 
 use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary, kept for the JSON report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Group name passed to [`Criterion::benchmark_group`].
+    pub group: String,
+    /// Benchmark id passed to `bench_function`.
+    pub id: String,
+    /// Number of timed samples behind the statistics.
+    pub samples: usize,
+    /// Fastest sample, in nanoseconds.
+    pub min_ns: u128,
+    /// Median sample, in nanoseconds.
+    pub median_ns: u128,
+    /// Mean sample, in nanoseconds.
+    pub mean_ns: u128,
+}
 
 /// How batched inputs are grouped between setup calls. Only a namespace
 /// shim — every variant times one routine call per setup call.
@@ -37,6 +59,7 @@ pub struct Criterion {
     bench_mode: bool,
     default_samples: usize,
     completed: usize,
+    records: Vec<BenchRecord>,
 }
 
 impl Criterion {
@@ -53,6 +76,7 @@ impl Criterion {
             bench_mode,
             default_samples,
             completed: 0,
+            records: Vec::new(),
         }
     }
 
@@ -75,7 +99,8 @@ impl Criterion {
         }
     }
 
-    /// Prints the run summary (bench mode only).
+    /// Prints the run summary and, when `VMIN_BENCH_JSON` names a path,
+    /// writes the JSON timing report there.
     pub fn final_summary(&self) {
         if self.bench_mode {
             eprintln!("\n{} benchmarks timed.", self.completed);
@@ -85,7 +110,64 @@ impl Criterion {
                 self.completed
             );
         }
+        if let Some(path) = std::env::var_os("VMIN_BENCH_JSON") {
+            match std::fs::write(&path, self.json_report()) {
+                Ok(()) => eprintln!("timing report written to {}", path.to_string_lossy()),
+                Err(e) => eprintln!(
+                    "failed to write timing report to {}: {e}",
+                    path.to_string_lossy()
+                ),
+            }
+        }
     }
+
+    /// The recorded per-benchmark summaries, in execution order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Renders the timing report as a JSON document (hand-rolled — the
+    /// workspace is dependency-free, so no serde).
+    pub fn json_report(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"threads\": {},\n  \"bench_mode\": {},\n",
+            vmin_par::current_threads(),
+            self.bench_mode
+        ));
+        s.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"group\": \"{}\", \"id\": \"{}\", \"samples\": {}, \
+                 \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}{}\n",
+                json_escape(&r.group),
+                json_escape(&r.id),
+                r.samples,
+                r.min_ns,
+                r.median_ns,
+                r.mean_ns,
+                if i + 1 < self.records.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Escapes the characters JSON forbids in strings (the names here are plain
+/// identifiers, so this only needs quotes, backslashes and control bytes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A named collection of benchmarks sharing a sample-size override.
@@ -115,8 +197,21 @@ impl BenchmarkGroup<'_> {
             times: Vec::new(),
         };
         f(&mut bencher);
-        if self.criterion.bench_mode {
-            bencher.report(&self.name, id);
+        if let Some(record) = bencher.summarize(&self.name, id) {
+            if self.criterion.bench_mode {
+                eprintln!(
+                    "{}/{}: min {} · median {} · mean {} ({} samples)",
+                    record.group,
+                    record.id,
+                    fmt_duration(Duration::from_nanos(record.min_ns as u64)),
+                    fmt_duration(Duration::from_nanos(record.median_ns as u64)),
+                    fmt_duration(Duration::from_nanos(record.mean_ns as u64)),
+                    record.samples,
+                );
+            }
+            self.criterion.records.push(record);
+        } else if self.criterion.bench_mode {
+            eprintln!("{}/{id}: no samples recorded", self.name);
         }
         self.criterion.completed += 1;
         self
@@ -136,10 +231,13 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `f` over the configured number of samples (one warm-up call
-    /// first); in smoke mode runs it exactly once.
+    /// first); in smoke mode runs it exactly once, recording that single
+    /// pass as the only sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         if !self.bench_mode {
+            let t0 = Instant::now();
             std::hint::black_box(f());
+            self.times.push(t0.elapsed());
             return;
         }
         std::hint::black_box(f()); // warm-up
@@ -157,7 +255,10 @@ impl Bencher {
         F: FnMut(I) -> O,
     {
         if !self.bench_mode {
-            std::hint::black_box(routine(setup()));
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.times.push(t0.elapsed());
             return;
         }
         std::hint::black_box(routine(setup())); // warm-up
@@ -169,22 +270,22 @@ impl Bencher {
         }
     }
 
-    fn report(&mut self, group: &str, id: &str) {
+    fn summarize(&mut self, group: &str, id: &str) -> Option<BenchRecord> {
         if self.times.is_empty() {
-            eprintln!("{group}/{id}: no samples recorded");
-            return;
+            return None;
         }
         self.times.sort_unstable();
         let min = self.times[0];
         let median = self.times[self.times.len() / 2];
         let mean = self.times.iter().sum::<Duration>() / self.times.len() as u32;
-        eprintln!(
-            "{group}/{id}: min {} · median {} · mean {} ({} samples)",
-            fmt_duration(min),
-            fmt_duration(median),
-            fmt_duration(mean),
-            self.times.len(),
-        );
+        Some(BenchRecord {
+            group: group.to_string(),
+            id: id.to_string(),
+            samples: self.times.len(),
+            min_ns: min.as_nanos(),
+            median_ns: median.as_nanos(),
+            mean_ns: mean.as_nanos(),
+        })
     }
 }
 
@@ -240,7 +341,9 @@ mod tests {
         };
         b.iter(|| calls += 1);
         assert_eq!(calls, 1);
-        assert!(b.times.is_empty());
+        // The single smoke pass is still timed, so the JSON report has a
+        // sample even without --bench.
+        assert_eq!(b.times.len(), 1);
     }
 
     #[test]
@@ -273,6 +376,60 @@ mod tests {
         // One warm-up setup plus one per timed sample.
         assert_eq!(setups, 5);
         assert_eq!(b.times.len(), 4);
+    }
+
+    #[test]
+    fn summarize_orders_statistics() {
+        let mut b = Bencher {
+            bench_mode: true,
+            samples: 3,
+            times: vec![
+                Duration::from_nanos(30),
+                Duration::from_nanos(10),
+                Duration::from_nanos(20),
+            ],
+        };
+        let r = b.summarize("g", "id").unwrap();
+        assert_eq!(r.min_ns, 10);
+        assert_eq!(r.median_ns, 20);
+        assert_eq!(r.mean_ns, 20);
+        assert_eq!(r.samples, 3);
+        let empty = Bencher {
+            bench_mode: true,
+            samples: 0,
+            times: Vec::new(),
+        }
+        .summarize("g", "id");
+        assert!(empty.is_none());
+    }
+
+    #[test]
+    fn json_report_lists_benchmarks_and_threads() {
+        let mut c = Criterion {
+            bench_mode: false,
+            default_samples: 1,
+            completed: 0,
+            records: Vec::new(),
+        };
+        c.benchmark_group("grp")
+            .bench_function("first", |b| b.iter(|| std::hint::black_box(1 + 1)))
+            .bench_function("second", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        assert_eq!(c.records().len(), 2);
+        let json = c.json_report();
+        assert!(json.contains("\"threads\":"));
+        assert!(json.contains("\"group\": \"grp\""));
+        assert!(json.contains("\"id\": \"first\""));
+        assert!(json.contains("\"id\": \"second\""));
+        assert!(json.contains("\"min_ns\":"));
+        // Exactly one trailing comma between the two entries.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 
     #[test]

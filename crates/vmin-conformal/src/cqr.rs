@@ -82,8 +82,18 @@ impl<L: Regressor, H: Regressor> Cqr<L, H> {
                 self.alpha
             )));
         }
-        self.lo_model.fit(x_train, y_train)?;
-        self.hi_model.fit(x_train, y_train)?;
+        // The pair's fits are independent; run them on two threads when the
+        // pool allows. Each fit is unchanged, so the result is bit-identical
+        // to fitting serially.
+        let Cqr {
+            lo_model, hi_model, ..
+        } = self;
+        let (lo_res, hi_res) = vmin_par::join(
+            || lo_model.fit(x_train, y_train),
+            || hi_model.fit(x_train, y_train),
+        );
+        lo_res?;
+        hi_res?;
         self.calibrate(x_cal, y_cal)
     }
 
@@ -159,8 +169,9 @@ impl<L: Regressor, H: Regressor> Cqr<L, H> {
     ///
     /// Same conditions as [`Self::predict_interval`].
     pub fn predict_intervals(&self, x: &Matrix) -> Result<Vec<PredictionInterval>> {
-        (0..x.rows())
-            .map(|i| self.predict_interval(x.row(i)))
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        vmin_par::par_map(&rows, 32, |_, &i| self.predict_interval(x.row(i)))
+            .into_iter()
             .collect()
     }
 }

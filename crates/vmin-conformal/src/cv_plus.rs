@@ -43,7 +43,9 @@ impl CvPlus {
     }
 
     /// Fits `k` fold-complement models via `factory` and records every
-    /// sample's out-of-fold residual.
+    /// sample's out-of-fold residual. Folds are independent, so they fit on
+    /// `vmin-par` worker threads (hence `factory: Sync`) and the result is
+    /// bit-identical to a serial fit at any thread count.
     ///
     /// # Errors
     ///
@@ -51,7 +53,7 @@ impl CvPlus {
     /// few samples; model errors otherwise.
     pub fn fit<F>(&mut self, x: &Matrix, y: &[f64], factory: F) -> Result<()>
     where
-        F: Fn() -> Box<dyn Regressor>,
+        F: Fn() -> Box<dyn Regressor> + Sync,
     {
         if !(self.alpha > 0.0 && self.alpha < 1.0) {
             return Err(ConformalError::InvalidArgument(format!(
@@ -69,18 +71,28 @@ impl CvPlus {
             )));
         }
         let kf = KFold::new(n, self.k, self.seed);
-        let mut models = Vec::with_capacity(self.k);
-        let mut residuals = vec![(0.0, 0usize); n];
-        for (fold_idx, split) in kf.iter().enumerate() {
+        let splits: Vec<_> = kf.iter().collect();
+        type FoldFit = Result<(Box<dyn Regressor>, Vec<(usize, f64)>)>;
+        let per_fold = vmin_par::par_map(&splits, 2, |_, split| -> FoldFit {
             let x_tr = x
                 .select_rows(&split.train)
                 .map_err(|e| ConformalError::Model(e.to_string()))?;
             let y_tr: Vec<f64> = split.train.iter().map(|&i| y[i]).collect();
             let mut model = factory();
             model.fit(&x_tr, &y_tr)?;
+            let mut fold_residuals = Vec::with_capacity(split.test.len());
             for &i in &split.test {
                 let p = model.predict_row(x.row(i))?;
-                residuals[i] = ((y[i] - p).abs(), fold_idx);
+                fold_residuals.push((i, (y[i] - p).abs()));
+            }
+            Ok((model, fold_residuals))
+        });
+        let mut models = Vec::with_capacity(self.k);
+        let mut residuals = vec![(0.0, 0usize); n];
+        for (fold_idx, fold) in per_fold.into_iter().enumerate() {
+            let (model, fold_residuals) = fold?;
+            for (i, r) in fold_residuals {
+                residuals[i] = (r, fold_idx);
             }
             models.push(model);
         }
@@ -122,8 +134,9 @@ impl CvPlus {
     ///
     /// Same conditions as [`Self::predict_interval`].
     pub fn predict_intervals(&self, x: &Matrix) -> Result<Vec<PredictionInterval>> {
-        (0..x.rows())
-            .map(|i| self.predict_interval(x.row(i)))
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        vmin_par::par_map(&rows, 32, |_, &i| self.predict_interval(x.row(i)))
+            .into_iter()
             .collect()
     }
 }
@@ -198,6 +211,27 @@ mod tests {
             .map(PredictionInterval::length)
             .collect();
         assert!(widths.iter().all(|w| w.is_finite() && *w > 0.0));
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial() {
+        let (x, y) = data(60, 11);
+        let (x_te, _) = data(25, 12);
+        let run_at = |threads: usize| {
+            vmin_par::with_threads(threads, || {
+                let mut cv = CvPlus::new(0.2, 5, 3);
+                cv.fit(&x, &y, factory).unwrap();
+                cv.predict_intervals(&x_te)
+                    .unwrap()
+                    .iter()
+                    .map(|iv| (iv.lo(), iv.hi()))
+                    .collect::<Vec<_>>()
+            })
+        };
+        let serial = run_at(1);
+        for threads in [2, 8] {
+            assert_eq!(run_at(threads), serial, "threads {threads}");
+        }
     }
 
     #[test]

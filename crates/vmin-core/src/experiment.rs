@@ -106,13 +106,24 @@ pub fn run_point_cell(
 ) -> Result<PointEval, ExperimentError> {
     let ds = assemble_dataset(campaign, read_point, temp_idx, feature_set)?;
     let kf = KFold::new(ds.n_samples(), cfg.folds, cfg.seed);
+    let splits: Vec<_> = kf.iter().collect();
+    // Folds are independent; evaluate them on worker threads and reduce the
+    // sums serially in fold order so the cell score is bit-identical to a
+    // serial run at any thread count.
+    let evals = vmin_par::par_map(
+        &splits,
+        2,
+        |_, split| -> Result<PointEval, ExperimentError> {
+            let train = ds.subset_rows(&split.train)?;
+            let test = ds.subset_rows(&split.test)?;
+            Ok(eval_point_fold(model, &cfg.models, &train, &test)?)
+        },
+    );
     let mut r2_sum = 0.0;
     let mut rmse_sum = 0.0;
     let mut nfeat_sum = 0usize;
-    for split in kf.iter() {
-        let train = ds.subset_rows(&split.train)?;
-        let test = ds.subset_rows(&split.test)?;
-        let eval = eval_point_fold(model, &cfg.models, &train, &test)?;
+    for eval in evals {
+        let eval = eval?;
         r2_sum += eval.r2;
         rmse_sum += eval.rmse;
         nfeat_sum += eval.n_features;
@@ -141,22 +152,33 @@ pub fn run_region_cell(
 ) -> Result<RegionEval, ExperimentError> {
     let ds = assemble_dataset(campaign, read_point, temp_idx, feature_set)?;
     let kf = KFold::new(ds.n_samples(), cfg.folds, cfg.seed);
+    let splits: Vec<_> = kf.iter().collect();
+    // Fold-parallel with a serial fold-order reduction — bit-identical to a
+    // serial run. `par_map` hands the closure the fold index, which keeps
+    // the per-fold seed family intact.
+    let evals = vmin_par::par_map(
+        &splits,
+        2,
+        |fold, split| -> Result<RegionEval, ExperimentError> {
+            let train = ds.subset_rows(&split.train)?;
+            let test = ds.subset_rows(&split.test)?;
+            Ok(eval_region_fold(
+                method,
+                &cfg.models,
+                &train,
+                &test,
+                cfg.alpha,
+                cfg.cal_fraction,
+                // Same seed family for every method (fair comparison, §IV-B),
+                // distinct per fold.
+                cfg.seed.wrapping_add(fold as u64),
+            )?)
+        },
+    );
     let mut len_sum = 0.0;
     let mut cov_sum = 0.0;
-    for (fold, split) in kf.iter().enumerate() {
-        let train = ds.subset_rows(&split.train)?;
-        let test = ds.subset_rows(&split.test)?;
-        let eval = eval_region_fold(
-            method,
-            &cfg.models,
-            &train,
-            &test,
-            cfg.alpha,
-            cfg.cal_fraction,
-            // Same seed family for every method (fair comparison, §IV-B),
-            // distinct per fold.
-            cfg.seed.wrapping_add(fold as u64),
-        )?;
+    for eval in evals {
+        let eval = eval?;
         len_sum += eval.mean_length;
         cov_sum += eval.coverage;
     }
@@ -195,13 +217,21 @@ pub fn run_feature_set_study(
     for feature_set in [FeatureSet::Parametric, FeatureSet::OnChip, FeatureSet::Both] {
         let n_temps = campaign.temperatures.len();
         let n_rps = campaign.read_points.len();
+        // Every (temperature, read point) cell is independent: run the whole
+        // grid on worker threads, then accumulate serially in the original
+        // temp-major order so the averages are bit-identical to a serial run.
+        let cells: Vec<(usize, usize)> = (0..n_temps)
+            .flat_map(|t| (0..n_rps).map(move |rp| (t, rp)))
+            .collect();
+        let evals = vmin_par::par_map(&cells, 2, |_, &(temp_idx, rp)| {
+            run_region_cell(campaign, rp, temp_idx, method, feature_set, cfg)
+        });
         let mut per_temp = vec![0.0; n_temps];
-        for temp_idx in 0..n_temps {
-            for rp in 0..n_rps {
-                let eval = run_region_cell(campaign, rp, temp_idx, method, feature_set, cfg)?;
-                per_temp[temp_idx] += eval.mean_length;
-            }
-            per_temp[temp_idx] /= n_rps as f64;
+        for (&(temp_idx, _), eval) in cells.iter().zip(evals) {
+            per_temp[temp_idx] += eval?.mean_length;
+        }
+        for v in &mut per_temp {
+            *v /= n_rps as f64;
         }
         let average = per_temp.iter().sum::<f64>() / n_temps as f64;
         out.push(FeatureSetSummary {

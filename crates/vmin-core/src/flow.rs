@@ -217,8 +217,12 @@ pub fn eval_region_fold(
             let mut hi = base
                 .make_quantile(1.0 - alpha / 2.0, cfg)
                 .ok_or_else(|| FlowError::InvalidConfig(format!("{base} has no quantile form")))?;
-            lo.fit(train_v.features(), train_v.targets())?;
-            hi.fit(train_v.features(), train_v.targets())?;
+            let (lo_res, hi_res) = vmin_par::join(
+                || lo.fit(train_v.features(), train_v.targets()),
+                || hi.fit(train_v.features(), train_v.targets()),
+            );
+            lo_res?;
+            hi_res?;
             (0..test_v.n_samples())
                 .map(|i| {
                     let l = lo.predict_row(test_v.sample(i))?;
@@ -349,8 +353,12 @@ impl VminPredictor {
                 let mut hi = base.make_quantile(1.0 - alpha / 2.0, cfg).ok_or_else(|| {
                     FlowError::InvalidConfig(format!("{base} has no quantile form"))
                 })?;
-                lo.fit(work.features(), work.targets())?;
-                hi.fit(work.features(), work.targets())?;
+                let (lo_res, hi_res) = vmin_par::join(
+                    || lo.fit(work.features(), work.targets()),
+                    || hi.fit(work.features(), work.targets()),
+                );
+                lo_res?;
+                hi_res?;
                 FittedRegion::Qr { lo, hi }
             }
             RegionMethod::Cqr(base) => {

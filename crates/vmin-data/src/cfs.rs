@@ -89,8 +89,12 @@ pub fn cfs_select(x: &Matrix, y: &[f64], max_features: usize, pool_size: usize) 
     assert!(max_features > 0, "cfs: max_features must be positive");
 
     // Rank all columns by |corr with target|.
+    let mut colbuf = Vec::with_capacity(x.rows());
     let mut r_all: Vec<(usize, f64)> = (0..x.cols())
-        .map(|j| (j, pearson(&x.col(j), y).abs()))
+        .map(|j| {
+            x.copy_col_into(j, &mut colbuf);
+            (j, pearson(&colbuf, y).abs())
+        })
         .collect();
     r_all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("correlations are finite"));
     let pool: Vec<usize> = r_all

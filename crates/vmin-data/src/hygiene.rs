@@ -106,8 +106,9 @@ impl HygieneReport {
         let x = ds.features();
         let mut column_missing = vec![0usize; n_cols];
         let mut column_outliers = vec![0usize; n_cols];
+        let mut col = Vec::with_capacity(n_rows);
         for j in 0..n_cols {
-            let col = x.col(j);
+            x.copy_col_into(j, &mut col);
             column_missing[j] = col.iter().filter(|v| !v.is_finite()).count();
             if let Some((med, mad)) = median_and_mad(&col) {
                 if mad > 0.0 {
@@ -240,7 +241,7 @@ pub fn drop_all_missing_columns(ds: &Dataset) -> Result<(Dataset, Vec<String>), 
     let mut keep = Vec::with_capacity(ds.n_features());
     let mut dropped = Vec::new();
     for j in 0..ds.n_features() {
-        if x.col(j).iter().any(|v| v.is_finite()) {
+        if x.col_iter(j).any(|v| v.is_finite()) {
             keep.push(j);
         } else {
             dropped.push(ds.names()[j].clone());
@@ -271,8 +272,9 @@ pub fn impute_missing(ds: &Dataset) -> Result<(Dataset, usize), HygieneError> {
     let (rows, cols) = (ds.n_samples(), ds.n_features());
     let mut data = x.as_slice().to_vec();
     let mut imputed = 0usize;
+    let mut col = Vec::with_capacity(rows);
     for j in 0..cols {
-        let col = x.col(j);
+        x.copy_col_into(j, &mut col);
         if col.iter().all(|v| v.is_finite()) {
             continue;
         }
@@ -305,8 +307,9 @@ pub fn winsorize(ds: &Dataset, k: f64) -> Result<(Dataset, usize), HygieneError>
     let (rows, cols) = (ds.n_samples(), ds.n_features());
     let mut data = x.as_slice().to_vec();
     let mut clipped = 0usize;
+    let mut col = Vec::with_capacity(rows);
     for j in 0..cols {
-        let col = x.col(j);
+        x.copy_col_into(j, &mut col);
         let Some((med, mad)) = median_and_mad(&col) else {
             continue; // all-NaN column: imputation's problem, not ours
         };
@@ -342,7 +345,13 @@ pub fn quarantine_rows(
     let x = ds.features();
     let (rows, cols) = (ds.n_samples(), ds.n_features());
     // Column statistics once.
-    let stats: Vec<Option<(f64, f64)>> = (0..cols).map(|j| median_and_mad(&x.col(j))).collect();
+    let mut col = Vec::with_capacity(rows);
+    let stats: Vec<Option<(f64, f64)>> = (0..cols)
+        .map(|j| {
+            x.copy_col_into(j, &mut col);
+            median_and_mad(&col)
+        })
+        .collect();
     let mut keep = Vec::with_capacity(rows);
     let mut quarantined = Vec::new();
     for i in 0..rows {

@@ -124,8 +124,9 @@ impl Cholesky {
             )));
         }
         let mut out = Matrix::zeros(b.rows(), b.cols());
+        let mut col = Vec::with_capacity(b.rows());
         for j in 0..b.cols() {
-            let col = b.col(j);
+            b.copy_col_into(j, &mut col);
             let x = self.solve(&col)?;
             for i in 0..b.rows() {
                 out[(i, j)] = x[i];

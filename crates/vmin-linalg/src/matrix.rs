@@ -8,6 +8,21 @@ use crate::error::{LinalgError, Result};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
+/// Cache-tile edge (in elements) for the blocked matmul/gram kernels.
+///
+/// A 64×64 `f64` tile is 32 KiB — it fits L1 on every mainstream core.
+/// The tile size never affects results: every kernel accumulates each
+/// output element in a fixed index order regardless of blocking.
+const TILE: usize = 64;
+
+/// Output rows per parallel work unit in the blocked kernels. Each unit is
+/// handed to [`vmin_par::par_chunks_mut`] as one disjoint `&mut` region.
+const ROW_BLOCK: usize = 16;
+
+/// Minimum number of row blocks before worker threads are spawned; below
+/// this the kernels run serially on the calling thread.
+const MIN_PAR_BLOCKS: usize = 2;
+
 /// Dense row-major matrix of `f64`.
 ///
 /// # Examples
@@ -141,12 +156,37 @@ impl Matrix {
 
     /// Column `j` copied into a fresh vector.
     ///
+    /// Hot paths should prefer [`Matrix::col_iter`] (no allocation) or
+    /// [`Matrix::copy_col_into`] (caller-owned buffer, reusable across
+    /// calls) — this convenience accessor allocates on every call.
+    ///
     /// # Panics
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        self.col_iter(j).collect()
+    }
+
+    /// Iterates over column `j` top to bottom without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        self.data.iter().skip(j).step_by(self.cols).copied()
+    }
+
+    /// Copies column `j` into `buf`, clearing it first. Reusing one buffer
+    /// across calls avoids the per-call allocation of [`Matrix::col`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn copy_col_into(&self, j: usize, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend(self.col_iter(j));
     }
 
     /// Transposed copy.
@@ -160,7 +200,12 @@ impl Matrix {
         t
     }
 
-    /// Matrix product `self * rhs`.
+    /// Matrix product `self * rhs`, computed with a cache-tiled ikj kernel
+    /// parallelized over blocks of output rows.
+    ///
+    /// Each output element accumulates its `k` terms in ascending order
+    /// regardless of tiling or thread count, so results are bit-identical
+    /// to serial execution.
     ///
     /// # Errors
     ///
@@ -173,23 +218,36 @@ impl Matrix {
             )));
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let lhs_row = i * rhs.cols;
-                let rhs_row = k * rhs.cols;
-                for j in 0..rhs.cols {
-                    out.data[lhs_row + j] += a * rhs.data[rhs_row + j];
+        let n = rhs.cols;
+        if self.rows == 0 || n == 0 || self.cols == 0 {
+            return Ok(out);
+        }
+        vmin_par::par_chunks_mut(&mut out.data, ROW_BLOCK * n, MIN_PAR_BLOCKS, |bi, block| {
+            let i0 = bi * ROW_BLOCK;
+            for (di, out_row) in block.chunks_mut(n).enumerate() {
+                let lhs_row = self.row(i0 + di);
+                for k0 in (0..self.cols).step_by(TILE) {
+                    let k1 = (k0 + TILE).min(self.cols);
+                    for j0 in (0..n).step_by(TILE) {
+                        let j1 = (j0 + TILE).min(n);
+                        for (k, &a) in lhs_row[k0..k1].iter().enumerate() {
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let r0 = (k0 + k) * n;
+                            let rhs_seg = &rhs.data[r0 + j0..r0 + j1];
+                            for (o, &r) in out_row[j0..j1].iter_mut().zip(rhs_seg) {
+                                *o += a * r;
+                            }
+                        }
+                    }
                 }
             }
-        }
+        });
         Ok(out)
     }
 
-    /// Matrix-vector product `self * v`.
+    /// Matrix-vector product `self * v`, row-parallel.
     ///
     /// # Errors
     ///
@@ -203,37 +261,89 @@ impl Matrix {
             )));
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = self.row(i);
-            let mut acc = 0.0;
-            for j in 0..self.cols {
-                acc += row[j] * v[j];
+        // One parallel unit per MATVEC_BLOCK output elements: matvec rows
+        // are cheap, so the unit is coarser than the matmul row block.
+        const MATVEC_BLOCK: usize = 128;
+        vmin_par::par_chunks_mut(&mut out, MATVEC_BLOCK, MIN_PAR_BLOCKS, |bi, chunk| {
+            let i0 = bi * MATVEC_BLOCK;
+            for (di, o) in chunk.iter_mut().enumerate() {
+                let row = self.row(i0 + di);
+                let mut acc = 0.0;
+                for (a, b) in row.iter().zip(v) {
+                    acc += a * b;
+                }
+                *o = acc;
             }
-            out[i] = acc;
+        });
+        Ok(out)
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * v`, streamed in row-major
+    /// order — no transpose is materialized.
+    ///
+    /// Bit-identical to `self.transpose().matvec(v)`: each output element
+    /// accumulates its row terms in ascending row order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `v.len() != self.rows()`.
+    pub fn matvec_t(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "matvec_t: matrix has {} rows but vector has length {}",
+                self.rows,
+                v.len()
+            )));
         }
+        let mut out = vec![0.0; self.cols];
+        let c = self.cols;
+        // Parallel over column segments: every worker streams all rows but
+        // owns a disjoint slice of the output.
+        vmin_par::par_chunks_mut(&mut out, TILE, MIN_PAR_BLOCKS, |bi, chunk| {
+            let j0 = bi * TILE;
+            for (i, &vi) in v.iter().enumerate() {
+                let seg = &self.data[i * c + j0..i * c + j0 + chunk.len()];
+                for (o, &a) in chunk.iter_mut().zip(seg) {
+                    *o += vi * a;
+                }
+            }
+        });
         Ok(out)
     }
 
     /// Gram matrix `selfᵀ * self` (always square `cols x cols`), computed
-    /// symmetrically.
+    /// symmetrically with the upper triangle parallelized over blocks of
+    /// output rows.
+    ///
+    /// Each output element accumulates its data-row terms in ascending row
+    /// order regardless of blocking, so results are bit-identical to serial
+    /// execution.
     pub fn gram(&self) -> Matrix {
-        let mut g = Matrix::zeros(self.cols, self.cols);
-        for i in 0..self.rows {
-            let row = self.row(i);
-            for a in 0..self.cols {
-                let ra = row[a];
-                if ra == 0.0 {
-                    continue;
-                }
-                for b in a..self.cols {
-                    g.data[a * self.cols + b] += ra * row[b];
+        let c = self.cols;
+        let mut g = Matrix::zeros(c, c);
+        if c == 0 || self.rows == 0 {
+            return g;
+        }
+        vmin_par::par_chunks_mut(&mut g.data, ROW_BLOCK * c, MIN_PAR_BLOCKS, |bi, block| {
+            let a0 = bi * ROW_BLOCK;
+            for i in 0..self.rows {
+                let row = self.row(i);
+                for (da, grow) in block.chunks_mut(c).enumerate() {
+                    let a = a0 + da;
+                    let ra = row[a];
+                    if ra == 0.0 {
+                        continue;
+                    }
+                    for (gv, &rb) in grow[a..].iter_mut().zip(&row[a..]) {
+                        *gv += ra * rb;
+                    }
                 }
             }
-        }
+        });
         // Mirror the upper triangle.
-        for a in 0..self.cols {
-            for b in (a + 1)..self.cols {
-                g.data[b * self.cols + a] = g.data[a * self.cols + b];
+        for a in 0..c {
+            for b in (a + 1)..c {
+                g.data[b * c + a] = g.data[a * c + b];
             }
         }
         g
@@ -548,5 +658,98 @@ mod tests {
     fn display_nonempty() {
         let s = format!("{}", sample());
         assert!(s.contains("1.0000"));
+    }
+
+    #[test]
+    fn col_iter_and_copy_col_into_match_col() {
+        let m = sample();
+        let mut buf = vec![99.0; 7];
+        for j in 0..m.cols() {
+            assert_eq!(m.col_iter(j).collect::<Vec<_>>(), m.col(j));
+            m.copy_col_into(j, &mut buf);
+            assert_eq!(buf, m.col(j));
+        }
+    }
+
+    /// Deterministic pseudo-random matrix (plain LCG; no external deps).
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    /// Naive serial ikj reference, identical term order to the tiled kernel.
+    fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let v = a[(i, k)];
+                if v == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out[(i, j)] += v * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tiled_matmul_is_bit_identical_to_serial_reference() {
+        // Sizes straddling the tile edge and the parallel threshold.
+        for &(m, k, n) in &[(3, 5, 4), (17, 65, 9), (70, 33, 70), (130, 64, 5)] {
+            let a = pseudo_random(m, k, 1 + m as u64);
+            let b = pseudo_random(k, n, 2 + n as u64);
+            let expect = matmul_reference(&a, &b);
+            for threads in [1, 2, 8] {
+                let got = vmin_par::with_threads(threads, || a.matmul(&b).unwrap());
+                assert_eq!(got, expect, "{m}x{k}x{n} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_is_bit_identical_across_thread_counts() {
+        let a = pseudo_random(300, 40, 7);
+        let v: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
+        let serial = vmin_par::with_threads(1, || a.matvec(&v).unwrap());
+        for threads in [2, 8] {
+            let got = vmin_par::with_threads(threads, || a.matvec(&v).unwrap());
+            assert_eq!(got, serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn matvec_t_matches_materialized_transpose_bit_exactly() {
+        let a = pseudo_random(90, 140, 11);
+        let v: Vec<f64> = (0..90).map(|i| (i as f64 * 0.37).cos()).collect();
+        let expect = a.transpose().matvec(&v).unwrap();
+        for threads in [1, 2, 8] {
+            let got = vmin_par::with_threads(threads, || a.matvec_t(&v).unwrap());
+            assert_eq!(got, expect, "threads {threads}");
+        }
+        assert!(a.matvec_t(&v[..10]).is_err());
+    }
+
+    #[test]
+    fn gram_is_bit_identical_to_explicit_transpose_product() {
+        // transpose().matmul(&m) accumulates the same terms in the same
+        // order with the same zero-skip, so equality is exact.
+        for &(rows, cols) in &[(5, 3), (60, 40), (200, 20)] {
+            let m = pseudo_random(rows, cols, rows as u64 * 31 + cols as u64);
+            let expect = m.transpose().matmul(&m).unwrap();
+            for threads in [1, 2, 8] {
+                let got = vmin_par::with_threads(threads, || m.gram());
+                assert_eq!(got, expect, "{rows}x{cols} threads {threads}");
+            }
+        }
     }
 }

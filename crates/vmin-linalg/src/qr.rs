@@ -200,7 +200,7 @@ pub fn ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
     }
     let mut g = a.gram();
     g.add_diagonal(lambda);
-    let aty = a.transpose().matvec(b)?;
+    let aty = a.matvec_t(b)?;
     crate::cholesky::Cholesky::factor(&g)?.solve(&aty)
 }
 

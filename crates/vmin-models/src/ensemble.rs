@@ -31,7 +31,7 @@ use vmin_rng::SeedableRng;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Ensemble {
-    factory: Box<dyn Fn() -> Box<dyn Regressor>>,
+    factory: Box<dyn Fn() -> Box<dyn Regressor> + Send + Sync>,
     n_members: usize,
     seed: u64,
     members: Vec<Box<dyn Regressor>>,
@@ -52,9 +52,12 @@ impl std::fmt::Debug for Ensemble {
 
 impl Ensemble {
     /// Creates an ensemble of `n_members` models built by `factory`.
+    ///
+    /// The factory is `Send + Sync` so members can be fitted on `vmin-par`
+    /// worker threads.
     pub fn new<F>(factory: F, n_members: usize, seed: u64) -> Self
     where
-        F: Fn() -> Box<dyn Regressor> + 'static,
+        F: Fn() -> Box<dyn Regressor> + Send + Sync + 'static,
     {
         Ensemble {
             factory: Box::new(factory),
@@ -117,17 +120,22 @@ impl Regressor for Ensemble {
         let n = x.rows();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         self.members.clear();
-        for _ in 0..self.n_members {
-            // Bootstrap resample.
-            let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        // Bootstrap resamples drawn serially in member order, then members
+        // fitted in parallel — the fits consume no randomness, so the
+        // ensemble is bit-identical to a serial fit at any thread count.
+        let resamples: Vec<Vec<usize>> = (0..self.n_members)
+            .map(|_| (0..n).map(|_| rng.gen_range(0..n)).collect())
+            .collect();
+        let fitted = vmin_par::par_map(&resamples, 2, |_, idx| {
             let xb = x
-                .select_rows(&idx)
+                .select_rows(idx)
                 .map_err(|e| ModelError::Numerical(e.to_string()))?;
             let yb: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
             let mut member = (self.factory)();
             member.fit(&xb, &yb)?;
-            self.members.push(member);
-        }
+            Ok(member)
+        });
+        self.members = fitted.into_iter().collect::<Result<Vec<_>>>()?;
         // Aleatoric term: mean squared residual of the ensemble mean on the
         // full training set.
         let mut ss = 0.0;

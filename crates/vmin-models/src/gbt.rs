@@ -27,6 +27,10 @@ pub struct GradientBoostParams {
     pub seed: u64,
 }
 
+/// Rows per parallel work unit for the per-round element-wise passes
+/// (gradient refresh, prediction update); coarse because each row is cheap.
+const ROUND_ROW_BLOCK: usize = 256;
+
 impl Default for GradientBoostParams {
     fn default() -> Self {
         GradientBoostParams {
@@ -105,11 +109,24 @@ impl Regressor for GradientBoost {
         let all_rows: Vec<usize> = (0..n).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed);
 
+        // Boosting rounds are inherently sequential; within a round the
+        // per-row gradient/Hessian refresh and the prediction update are
+        // element-independent, so they parallelize bit-exactly.
+        let loss = self.loss;
+        let lr = self.params.learning_rate;
         for _ in 0..self.params.n_rounds {
-            for i in 0..n {
-                grad[i] = self.loss.gradient(y[i], preds[i]);
-                hess[i] = self.loss.hessian(y[i], preds[i]);
-            }
+            vmin_par::par_chunks_mut(&mut grad, ROUND_ROW_BLOCK, 2, |bi, chunk| {
+                let i0 = bi * ROUND_ROW_BLOCK;
+                for (di, g) in chunk.iter_mut().enumerate() {
+                    *g = loss.gradient(y[i0 + di], preds[i0 + di]);
+                }
+            });
+            vmin_par::par_chunks_mut(&mut hess, ROUND_ROW_BLOCK, 2, |bi, chunk| {
+                let i0 = bi * ROUND_ROW_BLOCK;
+                for (di, h) in chunk.iter_mut().enumerate() {
+                    *h = loss.hessian(y[i0 + di], preds[i0 + di]);
+                }
+            });
             let rows: Vec<usize> = if self.params.subsample < 1.0 {
                 let take = ((self.params.subsample * n as f64).round() as usize).max(2);
                 let mut shuffled = all_rows.clone();
@@ -120,9 +137,12 @@ impl Regressor for GradientBoost {
                 all_rows.clone()
             };
             let tree = GradientTree::fit(x, &grad, &hess, &rows, &self.params.tree);
-            for i in 0..n {
-                preds[i] += self.params.learning_rate * tree.predict_row(x.row(i));
-            }
+            vmin_par::par_chunks_mut(&mut preds, ROUND_ROW_BLOCK, 2, |bi, chunk| {
+                let i0 = bi * ROUND_ROW_BLOCK;
+                for (di, p) in chunk.iter_mut().enumerate() {
+                    *p += lr * tree.predict_row(x.row(i0 + di));
+                }
+            });
             self.trees.push(tree);
         }
         Ok(())
@@ -260,6 +280,22 @@ mod tests {
             m.predict_row(x.row(5)).unwrap()
         };
         assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial() {
+        let (x, y) = friedman_like(150, 9);
+        let fit_at = |threads: usize| {
+            vmin_par::with_threads(threads, || {
+                let mut m = GradientBoost::new(Loss::Squared);
+                m.fit(&x, &y).unwrap();
+                m.predict(&x).unwrap()
+            })
+        };
+        let serial = fit_at(1);
+        for threads in [2, 8] {
+            assert_eq!(fit_at(threads), serial, "threads {threads}");
+        }
     }
 
     #[test]

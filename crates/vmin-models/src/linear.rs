@@ -74,7 +74,7 @@ impl Regressor for LinearRegression {
         let d = x.cols();
         let mut col_means = vec![0.0; d];
         for j in 0..d {
-            col_means[j] = x.col(j).iter().sum::<f64>() / n as f64;
+            col_means[j] = x.col_iter(j).sum::<f64>() / n as f64;
         }
         let y_mean = vmin_linalg::mean(y);
         let mut xc = x.clone();

@@ -12,6 +12,13 @@
 use crate::traits::{validate_training, Loss, ModelError, Regressor, Result};
 use vmin_linalg::Matrix;
 
+/// Minimum features before border computation, pre-binning and the
+/// per-level split search spawn feature workers.
+const PAR_MIN_FEATURES: usize = 4;
+
+/// Rows per parallel work unit for element-wise per-round passes.
+const ROUND_ROW_BLOCK: usize = 256;
+
 /// Hyperparameters of the oblivious booster.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ObliviousBoostParams {
@@ -125,30 +132,29 @@ impl ObliviousBoost {
         self.loss
     }
 
-    /// Quantile borders per feature from the training matrix.
+    /// Quantile borders per feature from the training matrix, one feature
+    /// per parallel work item.
     fn compute_borders(&self, x: &Matrix) -> Vec<Vec<f64>> {
-        let n = x.rows();
-        (0..x.cols())
-            .map(|j| {
-                let mut col = x.col(j);
-                col.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
-                col.dedup();
-                if col.len() <= 1 {
-                    return Vec::new();
-                }
-                let count = self.params.border_count.min(col.len() - 1);
-                let mut borders = Vec::with_capacity(count);
-                for b in 1..=count {
-                    let pos = b as f64 / (count + 1) as f64 * (col.len() - 1) as f64;
-                    let lo = pos.floor() as usize;
-                    let hi = (lo + 1).min(col.len() - 1);
-                    borders.push(0.5 * (col[lo] + col[hi]));
-                }
-                borders.dedup();
-                let _ = n;
-                borders
-            })
-            .collect()
+        let features: Vec<usize> = (0..x.cols()).collect();
+        let border_count = self.params.border_count;
+        vmin_par::par_map(&features, PAR_MIN_FEATURES, |_, &j| {
+            let mut col: Vec<f64> = x.col_iter(j).collect();
+            col.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            col.dedup();
+            if col.len() <= 1 {
+                return Vec::new();
+            }
+            let count = border_count.min(col.len() - 1);
+            let mut borders = Vec::with_capacity(count);
+            for b in 1..=count {
+                let pos = b as f64 / (count + 1) as f64 * (col.len() - 1) as f64;
+                let lo = pos.floor() as usize;
+                let hi = (lo + 1).min(col.len() - 1);
+                borders.push(0.5 * (col[lo] + col[hi]));
+            }
+            borders.dedup();
+            borders
+        })
     }
 }
 
@@ -176,52 +182,61 @@ impl Regressor for ObliviousBoost {
         // splitting at border k sends a sample right iff its bin > k. This
         // turns split search into histogram accumulation (the CatBoost
         // approach), instead of rescanning all samples per candidate.
-        let bin_of: Vec<Vec<u8>> = (0..x.cols())
-            .map(|feature| {
-                let fb = &borders[feature];
-                (0..n)
-                    .map(|i| {
-                        let v = x[(i, feature)];
-                        fb.iter().filter(|&&t| v > t).count() as u8
-                    })
-                    .collect()
-            })
-            .collect();
+        let features: Vec<usize> = (0..x.cols()).collect();
+        let bin_of: Vec<Vec<u8>> = vmin_par::par_map(&features, PAR_MIN_FEATURES, |_, &feature| {
+            let fb = &borders[feature];
+            (0..n)
+                .map(|i| {
+                    let v = x[(i, feature)];
+                    fb.iter().filter(|&&t| v > t).count() as u8
+                })
+                .collect()
+        });
         let mut preds = vec![self.base_score; n];
         let mut grad = vec![0.0; n];
         let mut hess = vec![0.0; n];
         let l2 = self.params.l2_leaf_reg;
 
+        let loss = self.loss;
         for _ in 0..self.params.n_rounds {
-            for i in 0..n {
-                grad[i] = self.loss.gradient(y[i], preds[i]);
-                hess[i] = self.loss.hessian(y[i], preds[i]);
-            }
-            // Grow the oblivious tree level by level.
+            vmin_par::par_chunks_mut(&mut grad, ROUND_ROW_BLOCK, 2, |bi, chunk| {
+                let i0 = bi * ROUND_ROW_BLOCK;
+                for (di, g) in chunk.iter_mut().enumerate() {
+                    *g = loss.gradient(y[i0 + di], preds[i0 + di]);
+                }
+            });
+            vmin_par::par_chunks_mut(&mut hess, ROUND_ROW_BLOCK, 2, |bi, chunk| {
+                let i0 = bi * ROUND_ROW_BLOCK;
+                for (di, h) in chunk.iter_mut().enumerate() {
+                    *h = loss.hessian(y[i0 + di], preds[i0 + di]);
+                }
+            });
+            // Grow the oblivious tree level by level. Features are scored in
+            // parallel; the cross-feature reduce runs in ascending feature
+            // order with the serial scan's strict `>`, so the chosen level
+            // is identical to serial at any thread count.
             let mut levels: Vec<(usize, f64)> = Vec::with_capacity(self.params.depth);
             let mut leaf_of: Vec<usize> = vec![0; n];
             for bit in 0..self.params.depth {
                 let n_leaves = 1usize << bit;
-                let mut best: Option<(f64, usize, f64)> = None;
-                let mut hist_g = Vec::new();
-                let mut hist_h = Vec::new();
-                for (feature, fb) in borders.iter().enumerate() {
+                let leaf_of_ref = &leaf_of;
+                let per_feature = vmin_par::par_map(&features, PAR_MIN_FEATURES, |_, &feature| {
+                    let fb = &borders[feature];
                     if fb.is_empty() {
-                        continue;
+                        return None;
                     }
                     let n_bins = fb.len() + 1;
-                    hist_g.clear();
-                    hist_g.resize(n_leaves * n_bins, 0.0);
-                    hist_h.clear();
-                    hist_h.resize(n_leaves * n_bins, 0.0);
+                    let mut hist_g = vec![0.0; n_leaves * n_bins];
+                    let mut hist_h = vec![0.0; n_leaves * n_bins];
                     let bins = &bin_of[feature];
                     for i in 0..n {
-                        let slot = leaf_of[i] * n_bins + bins[i] as usize;
+                        let slot = leaf_of_ref[i] * n_bins + bins[i] as usize;
                         hist_g[slot] += grad[i];
                         hist_h[slot] += hess[i];
                     }
-                    // Per-leaf totals, then a running left-prefix per border:
-                    // split at border k sends bins 0..=k left, rest right.
+                    // Per-leaf totals, then a running left-prefix per
+                    // border: split at border k sends bins 0..=k left,
+                    // rest right.
                     let totals: Vec<(f64, f64)> = (0..n_leaves)
                         .map(|leaf| {
                             let base = leaf * n_bins;
@@ -232,6 +247,7 @@ impl Regressor for ObliviousBoost {
                         .collect();
                     let mut gl = vec![0.0; n_leaves];
                     let mut hl = vec![0.0; n_leaves];
+                    let mut best: Option<(f64, usize, f64)> = None;
                     for k in 0..fb.len() {
                         let mut score = 0.0;
                         for leaf in 0..n_leaves {
@@ -247,15 +263,25 @@ impl Regressor for ObliviousBoost {
                             best = Some((score, feature, fb[k]));
                         }
                     }
+                    best
+                });
+                let mut best: Option<(f64, usize, f64)> = None;
+                for cand in per_feature.into_iter().flatten() {
+                    if best.is_none_or(|(s, _, _)| cand.0 > s) {
+                        best = Some(cand);
+                    }
                 }
                 let Some((_, feature, threshold)) = best else {
                     break; // no usable borders (all features constant)
                 };
-                for i in 0..n {
-                    if x[(i, feature)] > threshold {
-                        leaf_of[i] |= 1 << bit;
+                vmin_par::par_chunks_mut(&mut leaf_of, ROUND_ROW_BLOCK, 2, |bi, chunk| {
+                    let i0 = bi * ROUND_ROW_BLOCK;
+                    for (di, leaf) in chunk.iter_mut().enumerate() {
+                        if x[(i0 + di, feature)] > threshold {
+                            *leaf |= 1 << bit;
+                        }
                     }
-                }
+                });
                 levels.push((feature, threshold));
             }
             // Leaf values. Squared loss: Newton step −G/(H+λ). Pinball:
@@ -300,9 +326,13 @@ impl Regressor for ObliviousBoost {
                 levels,
                 leaf_values,
             };
-            for i in 0..n {
-                preds[i] += self.params.learning_rate * tree.predict_row(x.row(i));
-            }
+            let lr = self.params.learning_rate;
+            vmin_par::par_chunks_mut(&mut preds, ROUND_ROW_BLOCK, 2, |bi, chunk| {
+                let i0 = bi * ROUND_ROW_BLOCK;
+                for (di, p) in chunk.iter_mut().enumerate() {
+                    *p += lr * tree.predict_row(x.row(i0 + di));
+                }
+            });
             self.trees.push(tree);
         }
         Ok(())
@@ -445,6 +475,22 @@ mod tests {
             cb.predict_row(&[0.0]),
             Err(ModelError::InvalidInput(_))
         ));
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial() {
+        let (x, y) = data(200, 9);
+        let fit_at = |threads: usize| {
+            vmin_par::with_threads(threads, || {
+                let mut m = ObliviousBoost::new(Loss::Pinball(0.9));
+                m.fit(&x, &y).unwrap();
+                m.predict(&x).unwrap()
+            })
+        };
+        let serial = fit_at(1);
+        for threads in [2, 8] {
+            assert_eq!(fit_at(threads), serial, "threads {threads}");
+        }
     }
 
     #[test]

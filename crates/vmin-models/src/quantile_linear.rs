@@ -78,13 +78,12 @@ impl Regressor for QuantileLinear {
 
         // Standardize features and center/scale targets.
         self.feat_means = (0..d)
-            .map(|j| x.col(j).iter().sum::<f64>() / n as f64)
+            .map(|j| x.col_iter(j).sum::<f64>() / n as f64)
             .collect();
         self.feat_scales = (0..d)
             .map(|j| {
-                let c = x.col(j);
                 let m = self.feat_means[j];
-                let v = c.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n.max(2) as f64;
+                let v = x.col_iter(j).map(|v| (v - m) * (v - m)).sum::<f64>() / n.max(2) as f64;
                 if v > 1e-24 {
                     v.sqrt()
                 } else {

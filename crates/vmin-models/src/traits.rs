@@ -126,7 +126,12 @@ impl Loss {
 /// Implementors: [`crate::LinearRegression`], [`crate::QuantileLinear`],
 /// [`crate::GaussianProcess`], [`crate::GradientBoost`],
 /// [`crate::ObliviousBoost`], [`crate::NeuralNet`].
-pub trait Regressor: fmt::Debug {
+///
+/// `Send + Sync` are supertraits so fitted models (including boxed trait
+/// objects) can move to and be shared with `vmin-par` worker threads —
+/// e.g. fold-parallel CV+ fits. Every implementor is plain owned data, so
+/// the bounds are free.
+pub trait Regressor: fmt::Debug + Send + Sync {
     /// Fits the model on `x` (n × d) and targets `y` (length n).
     ///
     /// # Errors
@@ -143,13 +148,19 @@ pub trait Regressor: fmt::Debug {
     /// [`ModelError::InvalidInput`] on dimension mismatch.
     fn predict_row(&self, row: &[f64]) -> Result<f64>;
 
-    /// Predicts every row of `x`.
+    /// Predicts every row of `x`, in parallel for large inputs. Rows are
+    /// independent, so output is bit-identical at any thread count; on an
+    /// error the lowest-index failing row's error is returned, as in a
+    /// serial scan.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Regressor::predict_row`].
     fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
-        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        vmin_par::par_map(&rows, 64, |_, &i| self.predict_row(x.row(i)))
+            .into_iter()
+            .collect()
     }
 }
 

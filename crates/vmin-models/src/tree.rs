@@ -125,6 +125,61 @@ impl GradientTree {
     }
 }
 
+/// Minimum rows at a node before the split search considers spawning
+/// feature workers; below it sorting is too cheap to amortize a thread.
+const PAR_MIN_NODE_ROWS: usize = 128;
+
+/// Minimum features per node for a parallel split search.
+const PAR_MIN_FEATURES: usize = 4;
+
+/// Best split candidate `(gain, feature, threshold)` for one feature,
+/// scanning boundaries in sorted order with the serial search's exact tie
+/// rule (strict `>` against a 0.0 floor keeps the earliest maximal gain).
+#[allow(clippy::too_many_arguments)]
+fn best_split_for_feature(
+    x: &Matrix,
+    grad: &[f64],
+    hess: &[f64],
+    rows: &[usize],
+    params: &TreeParams,
+    g_sum: f64,
+    h_sum: f64,
+    parent_score: f64,
+    feature: usize,
+) -> Option<(f64, usize, f64)> {
+    let mut sorted: Vec<usize> = rows.to_vec();
+    sorted.sort_by(|&a, &b| {
+        x[(a, feature)]
+            .partial_cmp(&x[(b, feature)])
+            .expect("finite features")
+    });
+    let mut best: Option<(f64, usize, f64)> = None;
+    let mut gl = 0.0;
+    let mut hl = 0.0;
+    for w in 0..sorted.len() - 1 {
+        let i = sorted[w];
+        gl += grad[i];
+        hl += hess[i];
+        let v = x[(i, feature)];
+        let v_next = x[(sorted[w + 1], feature)];
+        if v_next <= v {
+            continue; // no boundary between identical values
+        }
+        let gr = g_sum - gl;
+        let hr = h_sum - hl;
+        if hl < params.min_child_weight || hr < params.min_child_weight {
+            continue;
+        }
+        let gain = 0.5
+            * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - parent_score)
+            - params.gamma;
+        if gain > best.map_or(0.0, |(g, _, _)| g) {
+            best = Some((gain, feature, 0.5 * (v + v_next)));
+        }
+    }
+    best
+}
+
 /// Recursively grows the tree; returns the new node's index.
 fn build(
     x: &Matrix,
@@ -147,40 +202,34 @@ fn build(
         return make_leaf(nodes);
     }
 
-    // Exact greedy split search.
+    // Exact greedy split search: per-feature candidates in parallel, then a
+    // cross-feature reduce in ascending feature order. Both stages use the
+    // same strict `>` with a 0.0 floor as the serial scan, so the winner is
+    // identical to serial at any thread count.
     let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+    let features: Vec<usize> = (0..x.cols()).collect();
+    let min_feats = if rows.len() >= PAR_MIN_NODE_ROWS {
+        PAR_MIN_FEATURES
+    } else {
+        usize::MAX // tiny node: always serial
+    };
+    let per_feature = vmin_par::par_map(&features, min_feats, |_, &feature| {
+        best_split_for_feature(
+            x,
+            grad,
+            hess,
+            rows,
+            params,
+            g_sum,
+            h_sum,
+            parent_score,
+            feature,
+        )
+    });
     let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
-    let mut sorted: Vec<usize> = Vec::with_capacity(rows.len());
-    for feature in 0..x.cols() {
-        sorted.clear();
-        sorted.extend_from_slice(rows);
-        sorted.sort_by(|&a, &b| {
-            x[(a, feature)]
-                .partial_cmp(&x[(b, feature)])
-                .expect("finite features")
-        });
-        let mut gl = 0.0;
-        let mut hl = 0.0;
-        for w in 0..sorted.len() - 1 {
-            let i = sorted[w];
-            gl += grad[i];
-            hl += hess[i];
-            let v = x[(i, feature)];
-            let v_next = x[(sorted[w + 1], feature)];
-            if v_next <= v {
-                continue; // no boundary between identical values
-            }
-            let gr = g_sum - gl;
-            let hr = h_sum - hl;
-            if hl < params.min_child_weight || hr < params.min_child_weight {
-                continue;
-            }
-            let gain = 0.5
-                * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - parent_score)
-                - params.gamma;
-            if gain > best.map_or(0.0, |(g, _, _)| g) {
-                best = Some((gain, feature, 0.5 * (v + v_next)));
-            }
+    for cand in per_feature.into_iter().flatten() {
+        if cand.0 > best.map_or(0.0, |(g, _, _)| g) {
+            best = Some(cand);
         }
     }
 

@@ -1,0 +1,397 @@
+//! # vmin-par
+//!
+//! Deterministic, dependency-free parallel execution for the `cqr-vmin`
+//! workspace, built on [`std::thread::scope`] — the workspace must stay
+//! hermetic, so no rayon.
+//!
+//! ## The determinism contract
+//!
+//! Every combinator in this crate partitions work by **index** and collects
+//! results in **index order**. Callers keep each work item's computation
+//! independent of the partitioning (no shared accumulators, no
+//! partition-dependent reduction order), so results are **bit-identical to
+//! serial execution at any thread count**. The workspace's campaign
+//! simulation, model fits and conformal calibrations are all written
+//! against this contract, and the root `tests/determinism.rs` suite
+//! enforces it end to end.
+//!
+//! ## Thread-count resolution
+//!
+//! The effective thread count for a call is resolved in order:
+//!
+//! 1. `1` inside a `vmin-par` worker thread (no nested parallelism — nested
+//!    calls run serially, which is both deterministic and avoids
+//!    oversubscription);
+//! 2. a scoped [`with_threads`] override, if active on this thread;
+//! 3. the `VMIN_THREADS` environment variable (read once per process;
+//!    `VMIN_THREADS=1` means true serial execution — no worker threads are
+//!    spawned at all);
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! Each combinator also takes a `min_items` threshold: below it the call
+//! runs serially on the current thread, so tiny work loads never pay the
+//! thread-spawn cost.
+//!
+//! ## Example
+//!
+//! ```
+//! use vmin_par::{par_map, with_threads};
+//!
+//! let squares = par_map(&[1u64, 2, 3, 4], 2, |i, &x| (i as u64, x * x));
+//! assert_eq!(squares, vec![(0, 1), (1, 4), (2, 9), (3, 16)]);
+//!
+//! // Identical results at any forced thread count.
+//! let serial = with_threads(1, || par_map(&[1.0f64, 2.0, 3.0], 2, |_, x| x.sqrt()));
+//! let wide = with_threads(8, || par_map(&[1.0f64, 2.0, 3.0], 2, |_, x| x.sqrt()));
+//! assert_eq!(serial, wide);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Hard ceiling on worker threads, a guard against pathological
+/// `VMIN_THREADS` values.
+const MAX_THREADS: usize = 256;
+
+thread_local! {
+    /// True on threads spawned by this crate's combinators.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Scoped [`with_threads`] override for the current thread.
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// `VMIN_THREADS` (or hardware parallelism), resolved once per process.
+fn configured_threads() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        std::env::var("VMIN_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .min(MAX_THREADS)
+    })
+}
+
+/// The thread count the next combinator call on this thread will use.
+///
+/// Returns 1 inside worker threads (nested calls are serial), otherwise the
+/// active [`with_threads`] override or the global `VMIN_THREADS` /
+/// hardware-parallelism configuration.
+pub fn current_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(configured_threads)
+        .clamp(1, MAX_THREADS)
+}
+
+/// Restores the previous override even if the closure panics.
+struct OverrideGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        OVERRIDE.with(|o| o.set(self.prev));
+    }
+}
+
+/// Runs `f` with the thread count forced to `n` on this thread (`n = 1` is
+/// true serial execution). Restores the previous setting afterwards, even
+/// on panic. The override is scoped to the current thread and applies to
+/// every combinator called (non-nested) inside `f`.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = OverrideGuard {
+        prev: OVERRIDE.with(|o| o.replace(Some(n.clamp(1, MAX_THREADS)))),
+    };
+    f()
+}
+
+/// Runs two closures, in parallel when more than one thread is available,
+/// and returns both results as `(a, b)`.
+///
+/// # Panics
+///
+/// Propagates a panic from either closure (resumed on the calling thread).
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if current_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| {
+            IN_WORKER.with(|w| w.set(true));
+            b()
+        });
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// Maps `f(index, item)` over `items`, returning results in item order.
+///
+/// Work is split into one contiguous index range per thread; each range's
+/// results are collected independently and concatenated in range order, so
+/// the output is identical to `items.iter().enumerate().map(..).collect()`
+/// bit for bit, at any thread count.
+///
+/// Runs serially when fewer than `min_items` items are given (or only one
+/// thread is available); `min_items` is clamped to at least 2.
+///
+/// # Panics
+///
+/// Propagates the first panicking item's panic on the calling thread.
+pub fn par_map<T, R, F>(items: &[T], min_items: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = current_threads().min(items.len());
+    if threads <= 1 || items.len() < min_items.max(2) {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                s.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    let base = ci * chunk;
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(k, t)| f(base + k, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Splits `data` into contiguous chunks of `chunk_len` elements (the last
+/// may be shorter) and runs `f(chunk_index, chunk)` on each, in parallel
+/// when the chunk count reaches `min_chunks` and threads are available.
+///
+/// Chunks are disjoint `&mut` views, so each invocation owns its output
+/// region exclusively — the canonical shape for row-parallel kernels that
+/// write disjoint rows of one buffer. `chunk_index * chunk_len` is the
+/// global offset of the chunk's first element.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`; propagates the first panicking chunk's
+/// panic on the calling thread.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, min_chunks: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = current_threads().min(n_chunks);
+    if threads <= 1 || n_chunks < min_chunks.max(2) {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(ci, chunk);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        // One spawned task per group of chunks, so thread count stays
+        // bounded even for many small chunks.
+        let chunks_per_thread = n_chunks.div_ceil(threads);
+        let handles: Vec<_> = data
+            .chunks_mut(chunk_len * chunks_per_thread)
+            .enumerate()
+            .map(|(gi, group)| {
+                s.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    for (k, chunk) in group.chunks_mut(chunk_len).enumerate() {
+                        f(gi * chunks_per_thread + k, chunk);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[cfg(not(feature = "heavy-tests"))]
+    const CASES: usize = 40;
+    #[cfg(feature = "heavy-tests")]
+    const CASES: usize = 400;
+
+    #[test]
+    fn current_threads_is_positive() {
+        assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = current_threads();
+        with_threads(3, || assert_eq!(current_threads(), 3));
+        assert_eq!(current_threads(), outer);
+    }
+
+    #[test]
+    fn with_threads_restores_after_panic() {
+        let outer = current_threads();
+        let r = std::panic::catch_unwind(|| with_threads(5, || panic!("boom")));
+        assert!(r.is_err());
+        assert_eq!(current_threads(), outer);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for t in [1, 2, 4] {
+            let (a, b) = with_threads(t, || join(|| 1 + 1, || "two"));
+            assert_eq!((a, b), (2, "two"));
+        }
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let r =
+            std::panic::catch_unwind(|| with_threads(4, || join(|| 0, || panic!("worker died"))));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_thread_count() {
+        // A pseudo-random mix of lengths exercises uneven chunk splits.
+        for case in 0..CASES {
+            let len = (case * 7919 + 13) % 97 + 1;
+            let items: Vec<u64> = (0..len as u64).collect();
+            let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+            for threads in [1, 2, 3, 8] {
+                let got = with_threads(threads, || par_map(&items, 2, |_, &x| x * x + 1));
+                assert_eq!(got, expect, "len {len} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_passes_global_indices() {
+        let items = vec![(); 57];
+        let got = with_threads(4, || par_map(&items, 2, |i, _| i));
+        assert_eq!(got, (0..57).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_serial_below_threshold() {
+        // With min_items above the length, no worker runs even at 8 threads:
+        // observable because IN_WORKER stays false inside the closure.
+        let saw_worker = with_threads(8, || {
+            par_map(&[1, 2, 3], 100, |_, _| IN_WORKER.with(Cell::get))
+        });
+        assert!(saw_worker.iter().all(|&w| !w));
+    }
+
+    #[test]
+    fn par_map_propagates_panics() {
+        for threads in [1, 4] {
+            let r = std::panic::catch_unwind(|| {
+                with_threads(threads, || {
+                    par_map(&[0, 1, 2, 3], 2, |i, _| {
+                        if i == 2 {
+                            panic!("item 2 failed");
+                        }
+                        i
+                    })
+                })
+            });
+            assert!(r.is_err(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn nested_calls_run_serially() {
+        let nested_threads = with_threads(4, || par_map(&[(); 8], 2, |_, _| current_threads()));
+        assert!(nested_threads.iter().all(|&t| t == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        for threads in [1, 2, 5] {
+            let mut data = vec![0u32; 103];
+            let calls = AtomicUsize::new(0);
+            with_threads(threads, || {
+                par_chunks_mut(&mut data, 10, 2, |ci, chunk| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v = (ci * 10 + k) as u32;
+                    }
+                })
+            });
+            assert_eq!(calls.load(Ordering::SeqCst), 11);
+            let expect: Vec<u32> = (0..103).collect();
+            assert_eq!(data, expect, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_propagates_panics() {
+        let mut data = vec![0u8; 64];
+        let r = std::panic::catch_unwind(move || {
+            with_threads(4, || {
+                par_chunks_mut(&mut data, 8, 2, |ci, _| {
+                    if ci == 3 {
+                        panic!("chunk 3 failed");
+                    }
+                })
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn par_chunks_mut_rejects_zero_chunk() {
+        let mut data = [0u8; 4];
+        par_chunks_mut(&mut data, 0, 2, |_, _| {});
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: [u8; 0] = [];
+        assert!(par_map(&empty, 2, |_, &x| x).is_empty());
+        let mut none: [u8; 0] = [];
+        par_chunks_mut(&mut none, 4, 2, |_, _| panic!("must not be called"));
+    }
+}

@@ -12,7 +12,13 @@ use crate::units::{Celsius, Hours, Volt};
 use crate::vmin::VminTester;
 use vmin_rng::ChaCha8Rng;
 use vmin_rng::Rng;
+use vmin_rng::RngCore;
 use vmin_rng::SeedableRng;
+
+/// Minimum chips before the campaign spawns measurement workers; a chip is
+/// a coarse work item (hundreds of Vmin bisection searches), so the
+/// threshold is low.
+const MIN_PAR_CHIPS: usize = 4;
 
 /// Everything measured for one chip during the campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +62,13 @@ impl Campaign {
     ///
     /// All randomness (fabrication, measurement noise) flows from `seed`, so
     /// two calls with equal `spec` and `seed` produce identical data.
+    ///
+    /// Chips are measured in parallel (see `vmin-par`): fabrication and the
+    /// parametric-program generation consume the master stream serially,
+    /// then each chip's test-floor measurements run on an independent RNG
+    /// stream seeded from the master stream in chip order. Per-chip work is
+    /// therefore independent of thread partitioning and the campaign is
+    /// bit-identical at any `VMIN_THREADS` value.
     pub fn run(spec: &DatasetSpec, seed: u64) -> Campaign {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let chips = ChipFactory::new(spec.clone()).fabricate(&mut rng);
@@ -65,8 +78,11 @@ impl Campaign {
         let read_points = spec.stress.read_points.clone();
         let temperatures = spec.vmin_test.temperatures.clone();
 
-        let mut results = Vec::with_capacity(chips.len());
-        for chip in &chips {
+        // One measurement-stream seed per chip, drawn serially in chip order.
+        let chip_seeds: Vec<u64> = chips.iter().map(|_| rng.next_u64()).collect();
+
+        let results = vmin_par::par_map(&chips, MIN_PAR_CHIPS, |i, chip| {
+            let mut rng = ChaCha8Rng::seed_from_u64(chip_seeds[i]);
             // Each die gets its own monitor instantiation (local mismatch).
             let bank = MonitorBank::instantiate(
                 &mut rng,
@@ -88,15 +104,15 @@ impl Campaign {
                 }
                 vmin_mv.push(per_temp);
             }
-            results.push(ChipMeasurements {
+            ChipMeasurements {
                 chip_id: chip.id,
                 defective: chip.defective,
                 parametric,
                 rod,
                 cpd,
                 vmin_mv,
-            });
-        }
+            }
+        });
 
         Campaign {
             spec: spec.clone(),
@@ -221,6 +237,15 @@ mod tests {
         let a = Campaign::run(&DatasetSpec::small(), 7);
         let b = Campaign::run(&DatasetSpec::small(), 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_campaign_is_bit_identical_to_serial() {
+        let serial = vmin_par::with_threads(1, || Campaign::run(&DatasetSpec::small(), 7));
+        for threads in [2, 3, 8] {
+            let par = vmin_par::with_threads(threads, || Campaign::run(&DatasetSpec::small(), 7));
+            assert_eq!(par, serial, "threads {threads}");
+        }
     }
 
     #[test]

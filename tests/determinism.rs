@@ -1,0 +1,120 @@
+//! Workspace-level determinism guarantees of the `vmin-par` threading layer:
+//! the full simulate → assemble → fit → predict pipeline must be
+//! bit-identical at every thread count, and `par_map` must preserve input
+//! order and propagate worker panics.
+//!
+//! `ci.sh` additionally runs the whole tier-1 suite under `VMIN_THREADS=1`
+//! and under the default pool, covering the environment-variable override
+//! path that `with_threads` bypasses.
+
+use cqr_vmin::core::{
+    assemble_dataset, ExperimentConfig, FeatureSet, ModelConfig, PointModel, RegionMethod,
+    VminPredictor,
+};
+use cqr_vmin::core::{run_feature_set_study, run_region_cell};
+use cqr_vmin::silicon::{Campaign, DatasetSpec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn campaign_is_bit_identical_across_thread_counts() {
+    let serial = vmin_par::with_threads(1, || Campaign::run(&DatasetSpec::small(), 2024));
+    for threads in [2, 8] {
+        let par = vmin_par::with_threads(threads, || Campaign::run(&DatasetSpec::small(), 2024));
+        assert_eq!(par, serial, "campaign diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn cqr_predictor_is_bit_identical_across_thread_counts() {
+    let run_at = |threads: usize| {
+        vmin_par::with_threads(threads, || {
+            let campaign = Campaign::run(&DatasetSpec::small(), 7);
+            let ds = assemble_dataset(&campaign, 0, 1, FeatureSet::Both).unwrap();
+            let predictor = VminPredictor::fit(
+                &ds,
+                RegionMethod::Cqr(PointModel::Linear),
+                0.1,
+                0.25,
+                42,
+                &ModelConfig::fast(),
+            )
+            .unwrap();
+            (0..ds.n_samples())
+                .map(|i| {
+                    let iv = predictor.interval(ds.sample(i)).unwrap();
+                    (iv.lo(), iv.hi())
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+    let serial = run_at(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            run_at(threads),
+            serial,
+            "CQR intervals diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn region_cell_and_study_are_bit_identical_across_thread_counts() {
+    let campaign = Campaign::run(&DatasetSpec::small(), 11);
+    let cfg = ExperimentConfig::fast();
+    let cell_at = |threads: usize| {
+        vmin_par::with_threads(threads, || {
+            run_region_cell(
+                &campaign,
+                0,
+                1,
+                RegionMethod::Cqr(PointModel::Linear),
+                FeatureSet::Both,
+                &cfg,
+            )
+            .unwrap()
+        })
+    };
+    let serial_cell = cell_at(1);
+    assert_eq!(cell_at(4), serial_cell);
+
+    let study_at = |threads: usize| {
+        vmin_par::with_threads(threads, || {
+            run_feature_set_study(&campaign, RegionMethod::Cqr(PointModel::Linear), &cfg).unwrap()
+        })
+    };
+    let serial_study = study_at(1);
+    assert_eq!(study_at(4), serial_study);
+}
+
+#[test]
+fn par_map_preserves_input_order_at_any_thread_count() {
+    // Awkward sizes exercise uneven chunking: remainders, fewer items than
+    // threads, and single-item inputs.
+    for n in [1usize, 2, 7, 64, 257, 1000] {
+        let items: Vec<usize> = (0..n).collect();
+        for threads in [1, 2, 3, 8, 61] {
+            let out = vmin_par::with_threads(threads, || {
+                vmin_par::par_map(&items, 1, |idx, &v| (idx, v * 2))
+            });
+            assert_eq!(out.len(), n);
+            for (pos, &(idx, doubled)) in out.iter().enumerate() {
+                assert_eq!(idx, pos, "index mismatch: n={n} threads={threads}");
+                assert_eq!(doubled, pos * 2, "value mismatch: n={n} threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn par_map_propagates_worker_panics() {
+    let items: Vec<usize> = (0..100).collect();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        vmin_par::with_threads(4, || {
+            vmin_par::par_map(&items, 1, |_, &v| {
+                assert!(v != 57, "boom at {v}");
+                v
+            })
+        })
+    }));
+    assert!(result.is_err(), "a worker panic must reach the caller");
+}
