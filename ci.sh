@@ -10,6 +10,18 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> vmin-lint (determinism / NaN / panic-hygiene gate)"
+cargo run -q -p vmin-lint -- --list-rules
+VMIN_LINT_JSON=target/vmin-lint.json cargo run -q -p vmin-lint -- --deny
+test -s target/vmin-lint.json
+grep -q '"schema": "vmin-lint/v1"' target/vmin-lint.json
+grep -q '"status": "clean"' target/vmin-lint.json
+# The committed ratchet baseline must be tight: rewriting it at the current
+# counts has to be a no-op, otherwise somebody improved a count without
+# tightening (or the file was hand-edited upward).
+cargo run -q -p vmin-lint -- --update-baseline
+git diff --exit-code -- lint-baseline.json
+
 echo "==> tier-1: cargo build --release && cargo test -q (default thread pool)"
 cargo build --release
 cargo test -q

@@ -11,6 +11,8 @@
 //!
 //! Run: `cargo run --release -p vmin-bench --bin fig2_point_prediction [--scale quick|medium|full]`
 
+#![forbid(unsafe_code)]
+
 use vmin_bench::Scale;
 use vmin_core::{format_point_table, run_point_cell, FeatureSet, PointModel};
 use vmin_silicon::Campaign;

@@ -1,6 +1,8 @@
 //! Quick probe: CQR CatBoost interval length per feature set at two read
 //! points — used to iterate on simulator calibration without the full
 //! Table IV sweep.
+#![forbid(unsafe_code)]
+
 use vmin_bench::Scale;
 use vmin_core::{run_region_cell, FeatureSet, PointModel, RegionMethod};
 use vmin_silicon::Campaign;

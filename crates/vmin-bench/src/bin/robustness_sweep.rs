@@ -16,6 +16,8 @@
 //!
 //! Run: `cargo run --release -p vmin-bench --bin robustness_sweep [--scale quick|medium|full]`
 
+#![forbid(unsafe_code)]
+
 use vmin_bench::Scale;
 use vmin_core::{DegradationPolicy, FeatureSet, PointModel, RegionMethod, VminPredictor};
 use vmin_silicon::{Campaign, CorruptionConfig, CorruptionInjector};

@@ -12,6 +12,8 @@
 //!
 //! Run: `cargo run --release -p vmin-bench --bin table3_region_prediction [--scale quick|medium|full]`
 
+#![forbid(unsafe_code)]
+
 use vmin_bench::Scale;
 use vmin_core::{format_region_table, run_region_cell, FeatureSet, RegionEval, RegionMethod};
 use vmin_silicon::Campaign;

@@ -6,6 +6,8 @@
 //!
 //! Run: `cargo run --release -p vmin-bench --bin table4_onchip_gain [--scale quick|medium|full]`
 
+#![forbid(unsafe_code)]
+
 use vmin_bench::Scale;
 use vmin_core::{
     format_feature_set_table, onchip_monitor_gain, run_feature_set_study, run_region_cell,

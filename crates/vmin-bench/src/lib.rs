@@ -19,6 +19,8 @@
 //! Criterion micro-benches (`cargo bench -p vmin-bench`) time the model
 //! fits, conformal calibration and the simulator, plus two ablations.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 use vmin_core::{ExperimentConfig, ModelConfig};

@@ -121,8 +121,8 @@ impl CvPlus {
             lows.push(fold_preds[fold] - r);
             highs.push(fold_preds[fold] + r);
         }
-        lows.sort_by(|a, b| a.partial_cmp(b).expect("finite predictions"));
-        highs.sort_by(|a, b| a.partial_cmp(b).expect("finite predictions"));
+        lows.sort_by(|a, b| a.total_cmp(b));
+        highs.sort_by(|a, b| a.total_cmp(b));
         let k_lo = ((self.alpha * (n as f64 + 1.0)).floor() as usize).max(1) - 1;
         let k_hi = (((1.0 - self.alpha) * (n as f64 + 1.0)).ceil() as usize).min(n) - 1;
         Ok(PredictionInterval::new(lows[k_lo], highs[k_hi]))

@@ -48,7 +48,7 @@ pub fn conformal_quantile(scores: &[f64], alpha: f64) -> Result<f64> {
         return Ok(f64::INFINITY);
     }
     let mut sorted = scores.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Ok(sorted[rank - 1])
 }
 
@@ -108,7 +108,7 @@ mod tests {
 
     fn vmin_linalg_quantile(data: &[f64], p: f64) -> f64 {
         let mut s = data.to_vec();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s.sort_by(|a, b| a.total_cmp(b));
         let h = p * (s.len() - 1) as f64;
         let lo = h.floor() as usize;
         let hi = h.ceil() as usize;

@@ -19,7 +19,7 @@
 //! miscalibrated fit.
 
 use crate::scenario::{assemble_dataset, monitor_read_points, FeatureSet, ScenarioError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use vmin_data::hygiene::{
@@ -355,7 +355,7 @@ fn void_stale_reads(
     if stuck.is_empty() || stale_points.is_empty() {
         return Ok((ds.clone(), 0));
     }
-    let col_of: HashMap<&str, usize> = ds
+    let col_of: BTreeMap<&str, usize> = ds
         .names()
         .iter()
         .enumerate()

@@ -41,6 +41,7 @@
 //!
 //! [`Campaign`]: vmin_silicon::Campaign
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Indexed loops are kept where they mirror the underlying matrix math.
 #![allow(clippy::needless_range_loop)]

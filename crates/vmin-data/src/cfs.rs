@@ -96,7 +96,7 @@ pub fn cfs_select(x: &Matrix, y: &[f64], max_features: usize, pool_size: usize) 
             (j, pearson(&colbuf, y).abs())
         })
         .collect();
-    r_all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("correlations are finite"));
+    r_all.sort_by(|a, b| b.1.total_cmp(&a.1));
     let pool: Vec<usize> = r_all
         .iter()
         .take(pool_size.max(max_features).min(x.cols()))

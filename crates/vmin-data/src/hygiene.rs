@@ -197,7 +197,7 @@ fn median_and_mad(values: &[f64]) -> Option<(f64, f64)> {
 
 /// Median of a non-empty slice (sorts in place).
 fn median_in_place(v: &mut [f64]) -> f64 {
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values")); // invariant: callers filter to finite
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]

@@ -29,6 +29,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Indexed loops are kept where they mirror the underlying matrix math.
 #![allow(clippy::needless_range_loop)]

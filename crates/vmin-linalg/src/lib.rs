@@ -28,6 +28,7 @@
 //! # Ok::<(), vmin_linalg::LinalgError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Indexed loops are kept where they mirror the underlying matrix math.
 #![allow(clippy::needless_range_loop)]

@@ -28,7 +28,7 @@ pub fn quantile(data: &[f64], p: f64) -> Result<f64> {
         )));
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Ok(quantile_sorted(&sorted, p))
 }
 
@@ -68,7 +68,7 @@ pub fn quantile_higher(data: &[f64], p: f64) -> Result<f64> {
         )));
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len();
     let k = (p * n as f64).ceil() as usize;
     let idx = k.max(1).min(n) - 1;

@@ -1,0 +1,273 @@
+//! File walking, suppression handling and finding aggregation.
+//!
+//! The engine scans the **library and binary sources** of every workspace
+//! crate — `crates/*/src/**/*.rs` plus the root package's `src/` — in
+//! sorted path order, so output and the JSON report are deterministic.
+//! Integration-test trees (`tests/`), `examples/` and `target/` are out of
+//! scope: the rules exist to protect shipping code, and in-crate
+//! `#[cfg(test)]` modules are already exempted token-by-token where a rule
+//! allows it.
+//!
+//! ## Suppressions
+//!
+//! A finding is waived by a comment on the same line or the line directly
+//! above:
+//!
+//! ```text
+//! // vmin-lint: allow(float-eq)
+//! if x == 0.0 {            // exact-zero sparsity guard, intentional
+//! ```
+//!
+//! Several rules may be listed: `// vmin-lint: allow(panic-unwrap, float-eq)`.
+//! Suppressed findings are counted in the report but never fail the gate.
+
+use crate::lexer::{lex, mark_test_regions};
+use crate::rules::{check_tokens, rule_info, FileCtx, Finding, Severity};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The marker that introduces a suppression comment.
+const ALLOW_MARKER: &str = "vmin-lint: allow(";
+
+/// One finding bound to the file it fired in.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// Crate the file belongs to.
+    pub crate_name: String,
+    /// The underlying rule hit.
+    pub finding: Finding,
+}
+
+/// Everything one workspace scan produced.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Number of `.rs` files lexed.
+    pub files_scanned: usize,
+    /// Unsuppressed findings of `Deny` rules — must be empty for a pass.
+    pub deny: Vec<Diagnostic>,
+    /// Unsuppressed counts of `Ratchet` rules, keyed `"<rule>/<crate>"`.
+    pub ratchet_counts: BTreeMap<String, usize>,
+    /// Findings waived by `vmin-lint: allow(..)` comments.
+    pub suppressed: usize,
+}
+
+/// Parses the per-line suppression table: line number (1-based) → rules
+/// allowed on that line.
+fn parse_suppressions(src: &str) -> BTreeMap<u32, Vec<String>> {
+    let mut map: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find(ALLOW_MARKER) else {
+            continue;
+        };
+        let rest = &line[pos + ALLOW_MARKER.len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if !rules.is_empty() {
+            map.entry(idx as u32 + 1).or_default().extend(rules);
+        }
+    }
+    map
+}
+
+/// True when `finding` is waived by a suppression on its own line or the
+/// line directly above.
+fn is_suppressed(suppressions: &BTreeMap<u32, Vec<String>>, finding: &Finding) -> bool {
+    [finding.line, finding.line.saturating_sub(1)]
+        .iter()
+        .filter(|&&l| l >= 1)
+        .any(|l| {
+            suppressions
+                .get(l)
+                .is_some_and(|rules| rules.iter().any(|r| r == finding.rule || r == "all"))
+        })
+}
+
+/// Lints one source string. Returns the unsuppressed findings and the
+/// number of suppressed ones. This is the entry point the fixture tests
+/// drive; [`scan_workspace`] funnels every real file through it.
+pub fn lint_source(crate_name: &str, is_crate_root: bool, src: &str) -> (Vec<Finding>, usize) {
+    let suppressions = parse_suppressions(src);
+    let mut toks = lex(src);
+    mark_test_regions(&mut toks);
+    let ctx = FileCtx {
+        crate_name,
+        is_crate_root,
+    };
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for f in check_tokens(&ctx, &toks) {
+        if is_suppressed(&suppressions, &f) {
+            suppressed += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+    (kept, suppressed)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("read_dir {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// True for the files that start a compilation unit and therefore must
+/// carry `#![forbid(unsafe_code)]`: `src/lib.rs`, `src/main.rs` and every
+/// `src/bin/*.rs`.
+fn is_crate_root(rel_to_src: &Path) -> bool {
+    let comps: Vec<&str> = rel_to_src.iter().filter_map(|c| c.to_str()).collect();
+    matches!(comps.as_slice(), ["lib.rs"] | ["main.rs"] | ["bin", _])
+}
+
+/// Scans one crate's `src/` tree into `report`.
+fn scan_crate(
+    root: &Path,
+    crate_name: &str,
+    src_dir: &Path,
+    report: &mut ScanReport,
+) -> Result<(), String> {
+    let mut files = Vec::new();
+    collect_rs_files(src_dir, &mut files)?;
+    for path in files {
+        let src = fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel_to_src = path.strip_prefix(src_dir).unwrap_or(&path);
+        let rel_to_root = path.strip_prefix(root).unwrap_or(&path);
+        let rel: String = rel_to_root
+            .iter()
+            .filter_map(|c| c.to_str())
+            .collect::<Vec<_>>()
+            .join("/");
+        let (findings, suppressed) = lint_source(crate_name, is_crate_root(rel_to_src), &src);
+        report.files_scanned += 1;
+        report.suppressed += suppressed;
+        for f in findings {
+            let severity = rule_info(f.rule).map(|r| r.severity);
+            match severity {
+                Some(Severity::Deny) => report.deny.push(Diagnostic {
+                    file: rel.clone(),
+                    crate_name: crate_name.to_string(),
+                    finding: f,
+                }),
+                Some(Severity::Ratchet) => {
+                    *report
+                        .ratchet_counts
+                        .entry(format!("{}/{}", f.rule, crate_name))
+                        .or_insert(0) += 1;
+                }
+                None => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Scans the whole workspace rooted at `root`: every `crates/*/src` tree
+/// plus the root package's `src/` (crate name `cqr-vmin`).
+pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
+    let mut report = ScanReport::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir() && p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| format!("non-UTF-8 crate dir under {}", crates_dir.display()))?
+            .to_string();
+        scan_crate(root, &name, &dir.join("src"), &mut report)?;
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        scan_crate(root, "cqr-vmin", &root_src, &mut report)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_on_same_line() {
+        let src = "fn f(t: Instant) {} // vmin-lint: allow(det-wall-clock)\n";
+        let (findings, suppressed) = lint_source("vmin-linalg", false, src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_on_preceding_line() {
+        let src = "// vmin-lint: allow(det-wall-clock)\nfn f(t: Instant) {}\n";
+        let (findings, suppressed) = lint_source("vmin-linalg", false, src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_two_lines_up_does_not_apply() {
+        let src = "// vmin-lint: allow(det-wall-clock)\n\nfn f(t: Instant) {}\n";
+        let (findings, suppressed) = lint_source("vmin-linalg", false, src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(suppressed, 0);
+    }
+
+    #[test]
+    fn suppression_wrong_rule_does_not_apply() {
+        let src = "fn f(t: Instant) {} // vmin-lint: allow(float-eq)\n";
+        let (findings, _) = lint_source("vmin-linalg", false, src);
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn suppression_lists_multiple_rules() {
+        let src = "fn f(t: Instant, m: HashMap<u8, u8>) {} \
+                   // vmin-lint: allow(det-wall-clock, det-hash-collection)\n";
+        let (findings, suppressed) = lint_source("vmin-linalg", false, src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 2);
+    }
+
+    #[test]
+    fn allow_all_waives_everything_on_the_line() {
+        let src = "fn f(t: Instant) { todo!() } // vmin-lint: allow(all)\n";
+        let (findings, suppressed) = lint_source("vmin-linalg", false, src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 2);
+    }
+
+    #[test]
+    fn marker_inside_string_still_parses_as_suppression_but_is_harmless() {
+        // The suppression scan is textual (it cannot see comment
+        // boundaries), so a marker in a string waives that line too —
+        // acceptable: the only effect is a finding not being reported on
+        // a line that deliberately spells the marker out.
+        let src = "let s = \"vmin-lint: allow(det-wall-clock)\"; let t = Instant::now();\n";
+        let (findings, suppressed) = lint_source("vmin-linalg", false, src);
+        assert!(findings.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+}

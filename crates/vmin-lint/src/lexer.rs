@@ -1,0 +1,581 @@
+//! A minimal, dependency-free Rust lexer for the lint rules.
+//!
+//! This is **not** a full Rust front end (no `syn`): it strips comments,
+//! string/char literals and doc text, and emits a flat token stream with
+//! line numbers. That is enough for every rule the gate ships — the rules
+//! match identifier/punctuation patterns (`Instant`, `partial_cmp ( .. )
+//! . unwrap`, `static mut`, float literals beside `==`) rather than parsed
+//! syntax trees, so the analyzer stays a few hundred lines and builds in
+//! well under a second.
+//!
+//! A post-pass ([`mark_test_regions`]) flags tokens inside `#[test]`
+//! functions and `#[cfg(test)]` items so rules can exempt test code, where
+//! panicking (`unwrap`) is the idiomatic failure mode.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`Instant`, `static`, `unwrap`, …).
+    Ident,
+    /// Integer literal (including hex/octal/binary and integer suffixes).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `1f64`, …).
+    Float,
+    /// Operator or delimiter; multi-char operators (`==`, `::`) are one token.
+    Punct,
+    /// Lifetime such as `'a` or `'static` (never a char literal).
+    Lifetime,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Verbatim token text (empty for stripped literals — none are kept).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// True when the token sits inside `#[test]` / `#[cfg(test)]` code.
+    pub in_test: bool,
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `src` into a token stream, dropping comments and the *contents*
+/// of string/char literals. Literal text never reaches the rules, so a
+/// fixture string such as `"Instant::now()"` cannot trip a rule.
+pub fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested, as in Rust).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings / byte strings: r"..", r#".."#, b"..", br#".."#, b'..'.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if c == 'b' && j < n && chars[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            let raw_prefix = c == 'r' || (c == 'b' && i + 1 < n && chars[i + 1] == 'r');
+            if j < n && chars[j] == '"' && (raw_prefix || hashes == 0) {
+                if raw_prefix {
+                    // Raw (byte) string: ends at `"` + `hashes` hashes.
+                    i = j + 1;
+                    'raw: while i < n {
+                        if chars[i] == '\n' {
+                            line += 1;
+                            i += 1;
+                            continue;
+                        }
+                        if chars[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                // b"..": plain byte string, handled by the escape scanner.
+                i = j;
+                i = scan_string(&chars, i, &mut line);
+                continue;
+            }
+            if c == 'b' && i + 1 < n && chars[i + 1] == '\'' {
+                // Byte char literal b'x'.
+                i = scan_char_literal(&chars, i + 1, &mut line);
+                continue;
+            }
+            if raw_prefix && hashes > 0 {
+                // Raw identifier r#type: emit the identifier itself.
+                let start = j;
+                let mut k = j;
+                while k < n && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                    k += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Ident,
+                    text: chars[start..k].iter().collect(),
+                    line,
+                    in_test: false,
+                });
+                i = k;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // String literal.
+        if c == '"' {
+            i = scan_string(&chars, i, &mut line);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_char = next == Some('\\')
+                || (chars.get(i + 2).copied() == Some('\'') && next != Some('\''));
+            if is_char {
+                i = scan_char_literal(&chars, i, &mut line);
+            } else if next.is_some_and(|ch| ch.is_alphanumeric() || ch == '_') {
+                let start = i;
+                i += 1;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                    in_test: false,
+                });
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        // Number literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && matches!(chars.get(i + 1), Some('x' | 'o' | 'b')) {
+                i += 2;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+                if i < n && chars[i] == '.' {
+                    match chars.get(i + 1) {
+                        Some(d) if d.is_ascii_digit() => {
+                            is_float = true;
+                            i += 1;
+                            while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                                i += 1;
+                            }
+                        }
+                        // `1.` with no digit after (but not `1..n` or `x.method`).
+                        Some(ch) if *ch != '.' && !ch.is_alphabetic() && *ch != '_' => {
+                            is_float = true;
+                            i += 1;
+                        }
+                        None => {
+                            is_float = true;
+                            i += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                if i < n && (chars[i] == 'e' || chars[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < n && (chars[j] == '+' || chars[j] == '-') {
+                        j += 1;
+                    }
+                    if j < n && chars[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                if i < n && (chars[i].is_alphabetic() || chars[i] == '_') {
+                    let sstart = i;
+                    while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    let suffix: String = chars[sstart..i].iter().collect();
+                    if suffix == "f32" || suffix == "f64" {
+                        is_float = true;
+                    }
+                }
+            }
+            toks.push(Token {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text: chars[start..i].iter().collect(),
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        // Punctuation, multi-char operators first.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let len = op.chars().count();
+            if i + len <= n && chars[i..i + len].iter().collect::<String>() == **op {
+                toks.push(Token {
+                    kind: TokKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                    in_test: false,
+                });
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            toks.push(Token {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+                in_test: false,
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Scans a `"…"` literal starting at the opening quote; returns the index
+/// just past the closing quote.
+fn scan_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    i += 1; // opening quote
+    while i < n {
+        match chars[i] {
+            '\\' => {
+                if chars.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scans a `'…'` char literal starting at the opening quote; returns the
+/// index just past the closing quote.
+fn scan_char_literal(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    i += 1; // opening quote
+    while i < n {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Marks tokens belonging to `#[test]` functions and `#[cfg(test)]` items
+/// (including whole `mod tests { … }` blocks) with `in_test = true`.
+///
+/// Detection is attribute-driven: an outer attribute whose first path
+/// segment is `test`, or whose first segment is `cfg` and whose argument
+/// list mentions the bare identifier `test` (covers `cfg(test)` and
+/// `cfg(all(test, …))`). The marked region runs through the attributed
+/// item: up to the matching `}` of its first brace block, or the first
+/// `;` for brace-less items such as `use`.
+pub fn mark_test_regions(toks: &mut [Token]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && i + 1 < toks.len() && toks[i + 1].text == "[" {
+            let (attr_end, is_test) = scan_attribute(toks, i + 1);
+            if !is_test {
+                i = attr_end;
+                continue;
+            }
+            // Skip any further attributes between the test marker and the item.
+            let mut j = attr_end;
+            while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
+                let (e, _) = scan_attribute(toks, j + 1);
+                j = e;
+            }
+            // Find the item body: first `{` (brace-matched) or a terminating `;`.
+            let mut end = toks.len();
+            let mut k = j;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    ";" => {
+                        end = k + 1;
+                        break;
+                    }
+                    "{" => {
+                        let mut depth = 0i32;
+                        while k < toks.len() {
+                            match toks[k].text.as_str() {
+                                "{" => depth += 1,
+                                "}" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        k += 1;
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        end = k;
+                        break;
+                    }
+                    _ => k += 1,
+                }
+            }
+            for t in toks.iter_mut().take(end).skip(i) {
+                t.in_test = true;
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Scans one attribute starting at its `[` token. Returns the index just
+/// past the matching `]` and whether the attribute marks test code.
+fn scan_attribute(toks: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut k = open;
+    let mut first_ident: Option<&str> = None;
+    let mut saw_test = false;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {
+                if toks[k].kind == TokKind::Ident {
+                    if first_ident.is_none() {
+                        first_ident = Some(&toks[k].text);
+                    }
+                    if toks[k].text == "test" {
+                        saw_test = true;
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    let end = (k + 1).min(toks.len());
+    let is_test = match first_ident {
+        Some("test") => true,
+        Some("cfg") => saw_test,
+        _ => false,
+    };
+    (end, is_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let toks = texts("let x = \"Instant::now()\"; // Instant\n/* SystemTime */ let y = 1;");
+        assert!(!toks.iter().any(|t| t.contains("Instant")));
+        assert!(!toks.iter().any(|t| t.contains("SystemTime")));
+        assert_eq!(toks, vec!["let", "x", "=", ";", "let", "y", "=", "1", ";"]);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = texts("let a = r#\"HashMap \"quoted\" inside\"#; let r#type = 1;");
+        assert!(!toks.iter().any(|t| t.contains("HashMap")));
+        assert!(toks.iter().any(|t| t == "type"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let u = '\\u{1F}'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        // The only `x` identifier is the parameter; char-literal contents
+        // ('x', '\'', '\u{1F}') are stripped.
+        let x_idents = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text == "x")
+            .count();
+        assert_eq!(x_idents, 1);
+    }
+
+    #[test]
+    fn float_and_int_literals() {
+        let toks = lex("let a = 1.5; let b = 2e-3; let c = 7; let d = 0x1f; let e = 1f64;");
+        let kinds: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.text.clone(), t.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("1.5".to_string(), TokKind::Float),
+                ("2e-3".to_string(), TokKind::Float),
+                ("7".to_string(), TokKind::Int),
+                ("0x1f".to_string(), TokKind::Int),
+                ("1f64".to_string(), TokKind::Float),
+            ]
+        );
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let toks = lex("for i in 0..10 {}");
+        assert!(toks
+            .iter()
+            .any(|t| t.text == ".." && t.kind == TokKind::Punct));
+        assert!(toks.iter().all(|t| t.kind != TokKind::Float));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = texts("a == b; c != d; e <= f; g::h");
+        assert!(toks.contains(&"==".to_string()));
+        assert!(toks.contains(&"!=".to_string()));
+        assert!(toks.contains(&"<=".to_string()));
+        assert!(toks.contains(&"::".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}";
+        let mut toks = lex(src);
+        mark_test_regions(&mut toks);
+        let prod = toks.iter().find(|t| t.text == "prod").expect("prod");
+        let helper = toks.iter().find(|t| t.text == "helper").expect("helper");
+        let after = toks.iter().find(|t| t.text == "after").expect("after");
+        assert!(!prod.in_test);
+        assert!(helper.in_test);
+        assert!(!after.in_test);
+    }
+
+    #[test]
+    fn test_attr_fn_is_marked_and_cfg_attr_is_not() {
+        let src = "#[test]\nfn t() { body(); }\n#[cfg_attr(test, allow(dead_code))]\nfn prod() {}";
+        let mut toks = lex(src);
+        mark_test_regions(&mut toks);
+        assert!(
+            toks.iter()
+                .find(|t| t.text == "body")
+                .expect("body")
+                .in_test
+        );
+        assert!(
+            !toks
+                .iter()
+                .find(|t| t.text == "prod")
+                .expect("prod")
+                .in_test
+        );
+    }
+
+    #[test]
+    fn cfg_test_use_item_marks_to_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() {}";
+        let mut toks = lex(src);
+        mark_test_regions(&mut toks);
+        assert!(toks.iter().find(|t| t.text == "bar").expect("bar").in_test);
+        assert!(
+            !toks
+                .iter()
+                .find(|t| t.text == "prod")
+                .expect("prod")
+                .in_test
+        );
+    }
+}

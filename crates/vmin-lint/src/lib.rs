@@ -1,0 +1,39 @@
+//! # vmin-lint
+//!
+//! The workspace's in-tree determinism & panic-hygiene static analyzer —
+//! a dependency-free, token-level Rust source checker run as a CI gate:
+//!
+//! ```text
+//! cargo run -p vmin-lint -- --deny
+//! ```
+//!
+//! PR 2 made every numeric path **bit-identical at any thread count** and
+//! PR 1 made calibration **panic-free on dirty data** — but both contracts
+//! were enforced only by convention and runtime tests. A single `HashMap`
+//! iteration, `Instant`-seeded tiebreak or `partial_cmp(..).unwrap()` on a
+//! NaN can silently break the conformal coverage guarantee that is the
+//! paper's entire point. This crate makes those invariants mechanically
+//! checkable on every commit:
+//!
+//! - **Determinism** ([`rules`] `det-*`): no wall-clock types or
+//!   hash-order iteration in the numeric crates, all randomness through
+//!   `vmin-rng`, all threading through `vmin-par`, no `static mut`.
+//! - **NaN/float hygiene** (`nan-total-cmp`, `float-eq`): comparators must
+//!   use `f64::total_cmp`; float-literal `==`/`!=` is counted.
+//! - **Panic hygiene** (`panic-*`): `.unwrap()`/`.expect()`/`panic!` in
+//!   library code are counted per crate and ratcheted by
+//!   [`baseline`] — counts may only decrease.
+//!
+//! No `syn`, no proc-macro machinery: a small [`lexer`] strips comments
+//! and literals and the [`rules`] walk the token stream, so the analyzer
+//! builds in well under a second and adds nothing to the dependency
+//! graph. See `DESIGN.md` §8 for the full rule table and rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;

@@ -1,0 +1,180 @@
+//! CLI driver for the `vmin-lint` gate.
+//!
+//! ```text
+//! cargo run -p vmin-lint -- [--deny] [--update-baseline] [--list-rules]
+//!                           [--root <path>] [--json <path>]
+//! ```
+//!
+//! - `--deny`: exit non-zero on any deny-rule violation or ratchet
+//!   regression (the CI mode). Without it the same findings are printed
+//!   but the exit code stays 0 (advisory mode).
+//! - `--update-baseline`: rewrite `lint-baseline.json` at the current
+//!   (equal or lower) ratchet counts; refuses to raise any count.
+//! - `--list-rules`: print the rule table and exit.
+//! - `--root`: workspace root (default: auto-detected from the current
+//!   directory or `CARGO_MANIFEST_DIR`).
+//! - `--json` / `VMIN_LINT_JSON`: write the machine-readable report.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use vmin_lint::baseline::{self, Counts};
+use vmin_lint::engine::scan_workspace;
+use vmin_lint::report::{is_clean, render_diagnostic, render_json, render_rule_table};
+
+/// File name of the checked-in ratchet baseline, at the workspace root.
+const BASELINE_FILE: &str = "lint-baseline.json";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("vmin-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut deny = false;
+    let mut update_baseline = false;
+    let mut list_rules = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut json_arg: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--update-baseline" => update_baseline = true,
+            "--list-rules" => list_rules = true,
+            "--root" => {
+                root_arg = Some(PathBuf::from(args.next().ok_or("--root requires a path")?))
+            }
+            "--json" => {
+                json_arg = Some(PathBuf::from(args.next().ok_or("--json requires a path")?))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: vmin-lint [--deny] [--update-baseline] [--list-rules] \
+                     [--root <path>] [--json <path>]"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+
+    if list_rules {
+        print!("{}", render_rule_table());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match root_arg {
+        Some(r) => r,
+        None => detect_root()?,
+    };
+    let report = scan_workspace(&root)?;
+
+    let baseline_path = root.join(BASELINE_FILE);
+    let previous = baseline::load(&baseline_path)?;
+
+    if update_baseline {
+        let text = baseline::tighten(&report.ratchet_counts, previous.as_ref())?;
+        std::fs::write(&baseline_path, &text)
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "vmin-lint: baseline written to {} ({} ratchet keys)",
+            baseline_path.display(),
+            report.ratchet_counts.values().filter(|&&v| v > 0).count()
+        );
+    }
+
+    let effective_baseline: Counts = match (&previous, update_baseline) {
+        // Freshly (re)written baseline: compare against the current
+        // counts so the run below reports "ok" rather than stale deltas.
+        (_, true) => report.ratchet_counts.clone(),
+        (Some(prev), false) => prev.clone(),
+        (None, false) => {
+            if deny {
+                return Err(format!(
+                    "{} not found; bootstrap it with --update-baseline",
+                    baseline_path.display()
+                ));
+            }
+            eprintln!(
+                "vmin-lint: warning: {} not found; ratchet not enforced \
+                 (bootstrap with --update-baseline)",
+                baseline_path.display()
+            );
+            report.ratchet_counts.clone()
+        }
+    };
+    let ratchet = baseline::compare(&report.ratchet_counts, &effective_baseline);
+
+    for d in &report.deny {
+        eprintln!("{}", render_diagnostic(d));
+    }
+    let mut improvements = 0usize;
+    for e in &ratchet {
+        match e.status() {
+            "regressed" => eprintln!(
+                "lint-baseline regression: {} is {} (baseline {}); fix the new findings \
+                 or suppress them inline — the baseline only ratchets down",
+                e.key, e.current, e.baseline
+            ),
+            "improved" => improvements += 1,
+            _ => {}
+        }
+    }
+    if improvements > 0 && !update_baseline {
+        eprintln!(
+            "vmin-lint: {improvements} ratchet count(s) improved; run \
+             `cargo run -p vmin-lint -- --update-baseline` to tighten the baseline"
+        );
+    }
+
+    let json = render_json(&report, &ratchet, deny);
+    let json_path = json_arg.or_else(|| std::env::var_os("VMIN_LINT_JSON").map(PathBuf::from));
+    if let Some(path) = json_path {
+        std::fs::write(&path, &json).map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("vmin-lint: report written to {}", path.display());
+    }
+
+    let clean = is_clean(&report, &ratchet);
+    eprintln!(
+        "vmin-lint: {} files scanned, {} deny violation(s), {} suppression(s), {}",
+        report.files_scanned,
+        report.deny.len(),
+        report.suppressed,
+        if clean { "clean" } else { "VIOLATIONS" }
+    );
+    if deny && !clean {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Finds the workspace root: the nearest ancestor of the current directory
+/// whose `Cargo.toml` declares `[workspace]`, else two levels above this
+/// crate's manifest (which is `crates/vmin-lint`).
+fn detect_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("current_dir: {e}"))?;
+    let mut dir: Option<&Path> = Some(cwd.as_path());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest_dir
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .ok_or_else(|| "cannot locate the workspace root; pass --root".to_string())
+}

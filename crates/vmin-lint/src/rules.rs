@@ -1,0 +1,409 @@
+//! The rule set: the workspace's determinism, NaN-hygiene and
+//! panic-hygiene invariants as token patterns.
+//!
+//! Two severities exist:
+//!
+//! - [`Severity::Deny`] rules must have **zero** unsuppressed findings —
+//!   they protect the bit-identical-at-any-thread-count determinism
+//!   contract (PR 2) and the NaN-safe comparator discipline, where a
+//!   single violation silently breaks the conformal coverage guarantee.
+//! - [`Severity::Ratchet`] rules are *counted* per crate against the
+//!   checked-in `lint-baseline.json`: counts may only decrease over time
+//!   (regressions fail, improvements tighten the baseline).
+//!
+//! Any finding can be waived in place with a
+//! `// vmin-lint: allow(<rule>)` comment on the same line or the line
+//! directly above (see [`crate::engine`]).
+
+use crate::lexer::{TokKind, Token};
+
+/// Crates whose numeric results feed the conformal coverage guarantee;
+/// the strict determinism rules apply only here. `vmin-bench` (timing),
+/// `vmin-data` (I/O-adjacent hygiene), `vmin-rng`/`vmin-par` (the blessed
+/// randomness/threading providers) and the lint itself are exempt.
+pub const NUMERIC_CRATES: &[&str] = &[
+    "vmin-linalg",
+    "vmin-models",
+    "vmin-conformal",
+    "vmin-core",
+    "vmin-silicon",
+];
+
+/// How a rule's findings are enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Zero unsuppressed findings allowed.
+    Deny,
+    /// Per-crate counts may only decrease relative to `lint-baseline.json`.
+    Ratchet,
+}
+
+impl Severity {
+    /// Lower-case label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Ratchet => "ratchet",
+        }
+    }
+}
+
+/// Static description of one rule, for `--list-rules` and the docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule name, used in suppressions and the baseline.
+    pub name: &'static str,
+    /// Enforcement mode.
+    pub severity: Severity,
+    /// Which crates the rule applies to, in words.
+    pub scope: &'static str,
+    /// One-line rationale.
+    pub summary: &'static str,
+}
+
+/// Every rule the gate ships, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "det-wall-clock",
+        severity: Severity::Deny,
+        scope: "numeric crates",
+        summary: "std::time::{Instant, SystemTime} leak wall-clock state into numeric code; \
+                  results must be a function of inputs and seeds only",
+    },
+    RuleInfo {
+        name: "det-hash-collection",
+        severity: Severity::Deny,
+        scope: "numeric crates",
+        summary: "HashMap/HashSet iteration order is randomized per process; use \
+                  BTreeMap/BTreeSet or index-ordered Vecs so runs are bit-identical",
+    },
+    RuleInfo {
+        name: "det-extern-rand",
+        severity: Severity::Deny,
+        scope: "all crates except vmin-rng",
+        summary: "all randomness must flow through vmin-rng's seeded generators; \
+                  rand::/thread_rng/OsRng/getrandom are entropy-seeded and unreproducible",
+    },
+    RuleInfo {
+        name: "det-thread-spawn",
+        severity: Severity::Deny,
+        scope: "all crates except vmin-par",
+        summary: "raw std::thread::spawn bypasses vmin-par's index-ordered join discipline; \
+                  use par_map/par_chunks_mut so reductions stay deterministic",
+    },
+    RuleInfo {
+        name: "det-static-mut",
+        severity: Severity::Deny,
+        scope: "all crates except vmin-par",
+        summary: "static mut is data-race-prone global state; use thread-locals or pass \
+                  state explicitly",
+    },
+    RuleInfo {
+        name: "nan-total-cmp",
+        severity: Severity::Deny,
+        scope: "all crates (including tests)",
+        summary: "partial_cmp(..).unwrap()/.expect() panics on NaN mid-sort; use \
+                  f64::total_cmp, which is total and NaN-safe",
+    },
+    RuleInfo {
+        name: "forbid-unsafe-attr",
+        severity: Severity::Deny,
+        scope: "every crate root (lib.rs, main.rs, src/bin/*.rs)",
+        summary: "each crate root must carry #![forbid(unsafe_code)]; the workspace is \
+                  100% safe Rust and stays that way",
+    },
+    RuleInfo {
+        name: "float-eq",
+        severity: Severity::Ratchet,
+        scope: "all crates (non-test code)",
+        summary: "==/!= beside a float literal is usually a rounding bug; compare with a \
+                  tolerance, or suppress for exact-zero sparsity guards",
+    },
+    RuleInfo {
+        name: "panic-unwrap",
+        severity: Severity::Ratchet,
+        scope: "all crates (non-test code)",
+        summary: ".unwrap() in library code panics instead of returning a typed error; \
+                  counts only go down",
+    },
+    RuleInfo {
+        name: "panic-expect",
+        severity: Severity::Ratchet,
+        scope: "all crates (non-test code)",
+        summary: ".expect() in library code panics instead of returning a typed error; \
+                  counts only go down",
+    },
+    RuleInfo {
+        name: "panic-macro",
+        severity: Severity::Ratchet,
+        scope: "all crates (non-test code)",
+        summary: "panic!/todo!/unimplemented! in library code; counts only go down",
+    },
+];
+
+/// Looks up a rule by name.
+pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// One rule hit at a source location (before suppression filtering).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Name of the rule that fired (a `RULES` entry).
+    pub rule: &'static str,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human-readable diagnostic, including the suggested fix.
+    pub message: String,
+}
+
+/// Per-file context the rules need beyond the token stream.
+#[derive(Debug, Clone)]
+pub struct FileCtx<'a> {
+    /// Workspace crate the file belongs to (directory name under `crates/`).
+    pub crate_name: &'a str,
+    /// True for crate roots: `src/lib.rs`, `src/main.rs`, `src/bin/*.rs`.
+    pub is_crate_root: bool,
+}
+
+/// Runs every rule over one file's marked token stream.
+pub fn check_tokens(ctx: &FileCtx<'_>, toks: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let numeric = NUMERIC_CRATES.contains(&ctx.crate_name);
+    let not_rng = ctx.crate_name != "vmin-rng";
+    let not_par = ctx.crate_name != "vmin-par";
+
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident => {
+                let name = t.text.as_str();
+                match name {
+                    "Instant" | "SystemTime" if numeric && !t.in_test => out.push(Finding {
+                        rule: "det-wall-clock",
+                        line: t.line,
+                        message: format!(
+                            "`{name}` in numeric crate `{}`: wall-clock state breaks the \
+                             bit-identical determinism contract; time nothing here (benches \
+                             live in vmin-bench)",
+                            ctx.crate_name
+                        ),
+                    }),
+                    "HashMap" | "HashSet" if numeric && !t.in_test => out.push(Finding {
+                        rule: "det-hash-collection",
+                        line: t.line,
+                        message: format!(
+                            "`{name}` in numeric crate `{}`: iteration order is randomized \
+                             per process; use `BTreeMap`/`BTreeSet` or an index-ordered `Vec`",
+                            ctx.crate_name
+                        ),
+                    }),
+                    "thread_rng" | "OsRng" | "getrandom" | "from_entropy"
+                        if not_rng && !t.in_test =>
+                    {
+                        out.push(Finding {
+                            rule: "det-extern-rand",
+                            line: t.line,
+                            message: format!(
+                                "`{name}`: entropy-seeded randomness is unreproducible; \
+                                 draw from a seeded `vmin_rng` generator instead"
+                            ),
+                        })
+                    }
+                    "rand"
+                        if not_rng
+                            && !t.in_test
+                            && toks.get(i + 1).is_some_and(|n| n.text == "::") =>
+                    {
+                        out.push(Finding {
+                            rule: "det-extern-rand",
+                            line: t.line,
+                            message: "`rand::` path: all randomness must flow through \
+                                      `vmin_rng`'s seeded generators"
+                                .to_string(),
+                        })
+                    }
+                    "spawn"
+                        if not_par
+                            && !t.in_test
+                            && i >= 2
+                            && toks[i - 1].text == "::"
+                            && toks[i - 2].text == "thread" =>
+                    {
+                        out.push(Finding {
+                            rule: "det-thread-spawn",
+                            line: t.line,
+                            message: "`thread::spawn` outside vmin-par: use \
+                                      `vmin_par::{par_map, par_chunks_mut}` so joins stay \
+                                      index-ordered and deterministic"
+                                .to_string(),
+                        })
+                    }
+                    "static"
+                        if not_par
+                            && !t.in_test
+                            && toks.get(i + 1).is_some_and(|n| n.text == "mut") =>
+                    {
+                        out.push(Finding {
+                            rule: "det-static-mut",
+                            line: t.line,
+                            message: "`static mut` outside vmin-par: mutable globals are \
+                                      data-race-prone; use a thread-local or pass state \
+                                      explicitly"
+                                .to_string(),
+                        })
+                    }
+                    "partial_cmp" => {
+                        if let Some(caller) = partial_cmp_unwrap(toks, i) {
+                            out.push(Finding {
+                                rule: "nan-total-cmp",
+                                line: t.line,
+                                message: format!(
+                                    "`partial_cmp(..).{caller}()` panics on NaN mid-sort; \
+                                     use `f64::total_cmp` (total order, NaN-safe)"
+                                ),
+                            });
+                        }
+                    }
+                    "unwrap"
+                        if !t.in_test
+                            && i >= 1
+                            && toks[i - 1].text == "."
+                            && toks.get(i + 1).is_some_and(|n| n.text == "(") =>
+                    {
+                        out.push(Finding {
+                            rule: "panic-unwrap",
+                            line: t.line,
+                            message: "`.unwrap()` in library code: return a typed error \
+                                      (the baseline ratchet counts this)"
+                                .to_string(),
+                        })
+                    }
+                    "expect"
+                        if !t.in_test
+                            && i >= 1
+                            && toks[i - 1].text == "."
+                            && toks.get(i + 1).is_some_and(|n| n.text == "(") =>
+                    {
+                        out.push(Finding {
+                            rule: "panic-expect",
+                            line: t.line,
+                            message: "`.expect()` in library code: return a typed error \
+                                      (the baseline ratchet counts this)"
+                                .to_string(),
+                        })
+                    }
+                    "panic" | "todo" | "unimplemented"
+                        if !t.in_test && toks.get(i + 1).is_some_and(|n| n.text == "!") =>
+                    {
+                        out.push(Finding {
+                            rule: "panic-macro",
+                            line: t.line,
+                            message: format!(
+                                "`{name}!` in library code (the baseline ratchet counts this)"
+                            ),
+                        })
+                    }
+                    _ => {}
+                }
+            }
+            TokKind::Punct if (t.text == "==" || t.text == "!=") && !t.in_test => {
+                let float_neighbor = (i >= 1 && toks[i - 1].kind == TokKind::Float)
+                    || toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Float);
+                if float_neighbor {
+                    out.push(Finding {
+                        rule: "float-eq",
+                        line: t.line,
+                        message: format!(
+                            "`{}` beside a float literal: exact float equality is usually \
+                             a rounding bug; compare with a tolerance or suppress an \
+                             intentional exact-zero guard",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if ctx.is_crate_root && !has_forbid_unsafe(toks) {
+        out.push(Finding {
+            rule: "forbid-unsafe-attr",
+            line: 1,
+            message: format!(
+                "crate root of `{}` is missing `#![forbid(unsafe_code)]`; every crate in \
+                 this workspace is 100% safe Rust",
+                ctx.crate_name
+            ),
+        });
+    }
+
+    out
+}
+
+/// After `partial_cmp` at index `i`, detects `( .. ) . unwrap|expect (`;
+/// returns the panicking method's name when the pattern matches.
+fn partial_cmp_unwrap(toks: &[Token], i: usize) -> Option<&'static str> {
+    if toks.get(i + 1)?.text != "(" {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut k = i + 1;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    if toks.get(k + 1)?.text != "." {
+        return None;
+    }
+    let method = toks.get(k + 2)?;
+    if method.kind != TokKind::Ident || toks.get(k + 3)?.text != "(" {
+        return None;
+    }
+    match method.text.as_str() {
+        "unwrap" => Some("unwrap"),
+        "expect" => Some("expect"),
+        _ => None,
+    }
+}
+
+/// True when the stream contains the inner attribute
+/// `#![forbid(unsafe_code)]` (possibly alongside other forbidden lints).
+fn has_forbid_unsafe(toks: &[Token]) -> bool {
+    for (i, t) in toks.iter().enumerate() {
+        if t.text == "forbid"
+            && i >= 3
+            && toks[i - 1].text == "["
+            && toks[i - 2].text == "!"
+            && toks[i - 3].text == "#"
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            let mut k = i + 1;
+            let mut depth = 0i32;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "unsafe_code" => return true,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,271 @@
+//! Fixture-driven true/false-positive coverage for every shipped rule.
+//!
+//! Fixtures are inline source strings (never on-disk files) pushed through
+//! [`vmin_lint::engine::lint_source`], exactly the path every real file
+//! takes. Each rule is exercised in both directions: a snippet that must
+//! fire and near-miss snippets that must not.
+
+use vmin_lint::engine::lint_source;
+use vmin_lint::rules::{rule_info, Severity, NUMERIC_CRATES, RULES};
+
+/// Rules that fired (unsuppressed) for `src` linted as a non-root file of
+/// `crate_name`.
+fn fired(crate_name: &str, src: &str) -> Vec<&'static str> {
+    lint_source(crate_name, false, src)
+        .0
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn det_wall_clock_fires_in_numeric_crates_only() {
+    let src = "fn tiebreak() -> u64 { Instant::now().elapsed().as_nanos() as u64 }";
+    for krate in NUMERIC_CRATES {
+        assert_eq!(fired(krate, src), vec!["det-wall-clock"], "in {krate}");
+    }
+    assert!(fired("vmin-bench", src).is_empty(), "vmin-bench is exempt");
+    let sys = "fn stamp() { let _ = std::time::SystemTime::now(); }";
+    assert_eq!(fired("vmin-conformal", sys), vec!["det-wall-clock"]);
+}
+
+#[test]
+fn det_wall_clock_skips_test_code_and_similar_names() {
+    let in_test = "#[cfg(test)]\nmod tests {\n  fn t() { let _ = Instant::now(); }\n}";
+    assert!(fired("vmin-linalg", in_test).is_empty());
+    // `Instantiates` in an identifier or doc text must not match.
+    assert!(fired(
+        "vmin-linalg",
+        "fn instantiates_monitor() {} /// Instantiates x"
+    )
+    .is_empty());
+}
+
+#[test]
+fn det_hash_collection_fires_on_hashmap_iteration_source() {
+    let src = "use std::collections::HashMap;\n\
+               fn agg(m: &HashMap<u32, f64>) -> f64 { m.values().sum() }";
+    let hits = fired("vmin-linalg", src);
+    assert_eq!(hits, vec!["det-hash-collection", "det-hash-collection"]);
+    assert!(fired("vmin-data", src).is_empty(), "vmin-data is exempt");
+}
+
+#[test]
+fn det_hash_collection_allows_btree_and_test_code() {
+    let btree = "use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, f64>) {}";
+    assert!(fired("vmin-core", btree).is_empty());
+    let in_test = "#[cfg(test)]\nmod tests { use std::collections::HashSet; }";
+    assert!(fired("vmin-core", in_test).is_empty());
+}
+
+#[test]
+fn det_extern_rand_fires_everywhere_but_vmin_rng() {
+    for src in [
+        "fn f() { let x = rand::random::<f64>(); }",
+        "fn f() { let mut rng = thread_rng(); }",
+        "fn f() { let mut rng = OsRng; }",
+        "fn f() { let seed = getrandom(); }",
+    ] {
+        assert_eq!(fired("vmin-silicon", src), vec!["det-extern-rand"], "{src}");
+        assert_eq!(fired("vmin-bench", src), vec!["det-extern-rand"], "{src}");
+        assert!(fired("vmin-rng", src).is_empty(), "vmin-rng is exempt");
+    }
+}
+
+#[test]
+fn det_extern_rand_ignores_seeded_vmin_rng_usage() {
+    let src = "use vmin_rng::ChaCha8Rng;\nfn f() { let rng = ChaCha8Rng::seed_from_u64(7); }";
+    assert!(fired("vmin-silicon", src).is_empty());
+    // A local named `rand` without a `::` path is not a finding.
+    assert!(fired("vmin-silicon", "fn f(rand: f64) -> f64 { rand * 2.0 }").is_empty());
+}
+
+#[test]
+fn det_thread_spawn_fires_outside_vmin_par() {
+    let src = "fn f() { std::thread::spawn(|| {}); }";
+    assert_eq!(fired("vmin-core", src), vec!["det-thread-spawn"]);
+    assert_eq!(fired("vmin-bench", src), vec!["det-thread-spawn"]);
+    assert!(fired("vmin-par", src).is_empty(), "vmin-par is exempt");
+    // Scoped spawns through a pool handle are not raw thread::spawn.
+    assert!(fired("vmin-core", "fn f(s: &Scope) { s.spawn(|| {}); }").is_empty());
+}
+
+#[test]
+fn det_static_mut_fires_outside_vmin_par() {
+    let src = "static mut COUNTER: u64 = 0;";
+    assert_eq!(fired("vmin-models", src), vec!["det-static-mut"]);
+    assert!(fired("vmin-par", src).is_empty(), "vmin-par is exempt");
+    assert!(fired("vmin-models", "static LIMIT: u64 = 8;").is_empty());
+    assert!(fired("vmin-models", "fn f(x: &'static str) {}").is_empty());
+}
+
+#[test]
+fn nan_total_cmp_fires_on_unwrap_and_expect_even_in_tests() {
+    // In library code the site is both a NaN hazard (deny) and a panic
+    // site (ratchet); both rules fire deliberately.
+    let unwrap = "fn s(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+    let expect = "fn s(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).expect(\"finite\")); }";
+    assert_eq!(
+        fired("vmin-linalg", unwrap),
+        vec!["nan-total-cmp", "panic-unwrap"]
+    );
+    assert_eq!(
+        fired("vmin-linalg", expect),
+        vec!["nan-total-cmp", "panic-expect"]
+    );
+    // Unlike the panic ratchet, the NaN rule also covers #[cfg(test)]
+    // code: a NaN-panicking comparator in a test is still a latent bug.
+    let in_test = format!("#[cfg(test)]\nmod tests {{ {unwrap} }}");
+    assert_eq!(fired("vmin-bench", &in_test), vec!["nan-total-cmp"]);
+}
+
+#[test]
+fn nan_total_cmp_ignores_safe_uses() {
+    for src in [
+        "fn s(v: &mut [f64]) { v.sort_by(|a, b| a.total_cmp(b)); }",
+        "fn s(a: f64, b: f64) -> Option<Ordering> { a.partial_cmp(&b) }",
+        "fn s(a: f64, b: f64) -> Ordering { a.partial_cmp(&b).unwrap_or(Ordering::Equal) }",
+        "fn s(a: f64, b: f64) -> bool { a.partial_cmp(&b).is_some() }",
+    ] {
+        assert!(fired("vmin-linalg", src).is_empty(), "{src}");
+    }
+}
+
+#[test]
+fn nan_total_cmp_sees_through_nested_arguments() {
+    let src = "fn s(v: &mut [(f64, f64)]) {\n\
+               v.sort_by(|a, b| (a.0 + a.1).partial_cmp(&(b.0 + b.1)).unwrap());\n}";
+    assert_eq!(
+        fired("vmin-conformal", src),
+        vec!["nan-total-cmp", "panic-unwrap"]
+    );
+}
+
+#[test]
+fn float_eq_fires_beside_float_literals_only() {
+    assert_eq!(
+        fired("vmin-linalg", "fn f(x: f64) -> bool { x == 0.5 }"),
+        vec!["float-eq"]
+    );
+    assert_eq!(
+        fired("vmin-linalg", "fn f(x: f64) -> bool { 1e-9 != x }"),
+        vec!["float-eq"]
+    );
+    assert!(fired("vmin-linalg", "fn f(x: f64) -> bool { x <= 0.5 }").is_empty());
+    assert!(fired("vmin-linalg", "fn f(i: usize) -> bool { i == 0 }").is_empty());
+    // Float==float comparisons without a literal are beyond the token
+    // heuristic, and test code is exempt.
+    assert!(fired("vmin-linalg", "#[test]\nfn t() { assert!(x == 0.5); }").is_empty());
+}
+
+#[test]
+fn panic_rules_count_library_code_but_not_tests() {
+    let lib = "fn f(o: Option<u8>) -> u8 { o.unwrap() }\n\
+               fn g(o: Option<u8>) -> u8 { o.expect(\"set\") }\n\
+               fn h() { panic!(\"boom\"); }\n\
+               fn i() { todo!() }\n\
+               fn j() { unimplemented!() }";
+    let mut hits = fired("vmin-core", lib);
+    hits.sort();
+    assert_eq!(
+        hits,
+        vec![
+            "panic-expect",
+            "panic-macro",
+            "panic-macro",
+            "panic-macro",
+            "panic-unwrap",
+        ]
+    );
+    let in_test = format!("#[cfg(test)]\nmod tests {{ {lib} }}");
+    assert!(fired("vmin-core", &in_test).is_empty());
+}
+
+#[test]
+fn panic_rules_ignore_non_panicking_cousins() {
+    let src = "fn f(o: Option<u8>) -> u8 { o.unwrap_or(0) }\n\
+               fn g(o: Option<u8>) -> u8 { o.unwrap_or_else(|| 1) }\n\
+               fn h(o: Option<u8>) -> u8 { o.unwrap_or_default() }\n\
+               fn i(r: Result<u8, u8>) -> Option<u8> { r.expect_err(\"no\").into() }";
+    // Only the exact identifiers `unwrap` and `expect` are counted;
+    // `unwrap_or*` never panics and `expect_err` is a distinct name kept
+    // out of scope deliberately (flag it by extending the rule if wanted).
+    let hits = fired("vmin-core", src);
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn forbid_unsafe_attr_checks_crate_roots_only() {
+    let bare = "pub fn f() {}";
+    let rooted = "#![forbid(unsafe_code)]\npub fn f() {}";
+    let (findings, _) = lint_source("vmin-linalg", true, bare);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "forbid-unsafe-attr");
+    let (findings, _) = lint_source("vmin-linalg", true, rooted);
+    assert!(findings.is_empty());
+    // Non-root files need no attribute.
+    let (findings, _) = lint_source("vmin-linalg", false, bare);
+    assert!(findings.is_empty());
+}
+
+#[test]
+fn forbid_unsafe_attr_accepts_multi_lint_forbid() {
+    let rooted = "#![forbid(unsafe_code, missing_docs)]\npub fn f() {}";
+    let (findings, _) = lint_source("vmin-linalg", true, rooted);
+    assert!(findings.is_empty());
+}
+
+#[test]
+fn fixture_strings_inside_literals_never_fire() {
+    // The seeded-violation patterns, spelled inside string literals, must
+    // be invisible to the lexer-driven rules.
+    let src = "fn f() -> &'static str { \"Instant::now() HashMap static mut \
+               partial_cmp(b).unwrap()\" }";
+    assert!(fired("vmin-linalg", src).is_empty());
+}
+
+#[test]
+fn seeded_violation_in_vmin_linalg_is_denied() {
+    // The acceptance-criterion scenario: a HashMap iteration added to
+    // vmin-linalg must produce a deny finding.
+    let src = "use std::collections::HashMap;\n\
+               pub fn sum(m: &HashMap<usize, f64>) -> f64 {\n\
+                   let mut acc = 0.0;\n\
+                   for (_, v) in m { acc += v; }\n\
+                   acc\n\
+               }";
+    let (findings, _) = lint_source("vmin-linalg", false, src);
+    assert!(!findings.is_empty());
+    assert!(findings.iter().all(|f| f.rule == "det-hash-collection"));
+    assert_eq!(
+        rule_info("det-hash-collection").map(|r| r.severity),
+        Some(Severity::Deny)
+    );
+}
+
+#[test]
+fn every_shipped_rule_has_fixture_coverage() {
+    // Meta-test: the fixtures above must collectively exercise each rule's
+    // firing direction. Reconstructs the set from this file's assertions.
+    let exercised = [
+        "det-wall-clock",
+        "det-hash-collection",
+        "det-extern-rand",
+        "det-thread-spawn",
+        "det-static-mut",
+        "nan-total-cmp",
+        "forbid-unsafe-attr",
+        "float-eq",
+        "panic-unwrap",
+        "panic-expect",
+        "panic-macro",
+    ];
+    for r in RULES {
+        assert!(
+            exercised.contains(&r.name),
+            "rule {} has no fixture coverage — add true/false-positive cases",
+            r.name
+        );
+    }
+    assert_eq!(exercised.len(), RULES.len());
+}

@@ -1,0 +1,71 @@
+//! End-to-end guard: the real workspace must pass its own gate.
+//!
+//! `ci.sh` runs `cargo run -p vmin-lint -- --deny`; this test wires the
+//! same check into plain `cargo test` so a determinism or ratchet
+//! regression is caught even when only the test suite runs.
+
+use std::path::Path;
+use vmin_lint::baseline;
+use vmin_lint::engine::scan_workspace;
+use vmin_lint::report::{is_clean, render_json};
+
+fn workspace_root() -> &'static Path {
+    // crates/vmin-lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root above crates/vmin-lint")
+}
+
+#[test]
+fn workspace_passes_the_deny_gate() {
+    let report = scan_workspace(workspace_root()).expect("scan workspace");
+    assert!(
+        report.files_scanned > 70,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report
+        .deny
+        .iter()
+        .map(vmin_lint::report::render_diagnostic)
+        .collect();
+    assert!(
+        report.deny.is_empty(),
+        "deny violations in the tree:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn workspace_ratchet_has_no_regressions_and_tight_baseline() {
+    let root = workspace_root();
+    let report = scan_workspace(root).expect("scan workspace");
+    let previous = baseline::load(&root.join("lint-baseline.json"))
+        .expect("parse lint-baseline.json")
+        .expect("lint-baseline.json is checked in");
+    let ratchet = baseline::compare(&report.ratchet_counts, &previous);
+    let regressions: Vec<String> = ratchet
+        .iter()
+        .filter(|e| e.current > e.baseline)
+        .map(|e| format!("{}: {} > baseline {}", e.key, e.current, e.baseline))
+        .collect();
+    assert!(
+        regressions.is_empty(),
+        "ratchet regressions (fix or suppress, never raise the baseline):\n{}",
+        regressions.join("\n")
+    );
+    // The committed baseline must also be tight: --update-baseline on the
+    // current tree has to be a byte-for-byte no-op.
+    let rewritten =
+        baseline::tighten(&report.ratchet_counts, Some(&previous)).expect("tighten baseline");
+    let on_disk = std::fs::read_to_string(root.join("lint-baseline.json")).expect("read baseline");
+    assert_eq!(
+        rewritten, on_disk,
+        "lint-baseline.json is stale; run `cargo run -p vmin-lint -- --update-baseline`"
+    );
+    // And the report over the live tree must come out clean.
+    let json = render_json(&report, &ratchet, true);
+    assert!(is_clean(&report, &ratchet));
+    assert!(json.contains("\"status\": \"clean\""));
+}

@@ -139,7 +139,7 @@ impl ObliviousBoost {
         let border_count = self.params.border_count;
         vmin_par::par_map(&features, PAR_MIN_FEATURES, |_, &j| {
             let mut col: Vec<f64> = x.col_iter(j).collect();
-            col.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            col.sort_by(|a, b| a.total_cmp(b));
             col.dedup();
             if col.len() <= 1 {
                 return Vec::new();

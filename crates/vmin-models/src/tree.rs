@@ -148,11 +148,7 @@ fn best_split_for_feature(
     feature: usize,
 ) -> Option<(f64, usize, f64)> {
     let mut sorted: Vec<usize> = rows.to_vec();
-    sorted.sort_by(|&a, &b| {
-        x[(a, feature)]
-            .partial_cmp(&x[(b, feature)])
-            .expect("finite features")
-    });
+    sorted.sort_by(|&a, &b| x[(a, feature)].total_cmp(&x[(b, feature)]));
     let mut best: Option<(f64, usize, f64)> = None;
     let mut gl = 0.0;
     let mut hl = 0.0;

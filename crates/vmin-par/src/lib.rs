@@ -46,6 +46,7 @@
 //! assert_eq!(serial, wide);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::cell::Cell;

@@ -40,6 +40,7 @@
 //! assert_eq!(a.gen::<f64>(), b.gen::<f64>());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod chacha;

@@ -32,6 +32,7 @@
 //! assert_eq!(vmin_25c_t0.len(), spec.chip_count);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Indexed loops are kept where they mirror the underlying matrix math.
 #![allow(clippy::needless_range_loop)]

@@ -40,6 +40,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use vmin_conformal as conformal;
 pub use vmin_core as core;
 pub use vmin_data as data;
