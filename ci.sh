@@ -29,6 +29,29 @@ cargo test -q
 echo "==> tier-1 again, pinned serial (VMIN_THREADS=1)"
 VMIN_THREADS=1 cargo test -q
 
+echo "==> tier-1 again, tracing disabled (VMIN_TRACE=0)"
+VMIN_TRACE=0 cargo test -q
+
+echo "==> vmin-trace report: schema + cross-thread-count counter identity"
+VMIN_THREADS=1 VMIN_TRACE_JSON=target/trace-t1.json \
+    cargo run -q --release -p vmin-bench --bin trace_report
+VMIN_THREADS=8 VMIN_TRACE_JSON=target/trace-t8.json \
+    cargo run -q --release -p vmin-bench --bin trace_report
+for f in target/trace-t1.json target/trace-t8.json; do
+    test -s "$f"
+    grep -q '"schema": "vmin-trace/v1"' "$f"
+    grep -q '"kind": "counter"' "$f"
+    grep -q '"kind": "timer"' "$f"
+done
+# The deterministic sections (counters, gauges, histograms) must be
+# line-identical across thread counts; topology and timer lines are the
+# two documented exemptions.
+for kind in counter gauge histogram; do
+    diff <(grep "\"kind\": \"$kind\"" target/trace-t1.json) \
+         <(grep "\"kind\": \"$kind\"" target/trace-t8.json) \
+        || { echo "vmin-trace $kind section differs between VMIN_THREADS=1 and 8"; exit 1; }
+done
+
 echo "==> bench smoke: par_speedup writes BENCH_PR2.json"
 VMIN_BENCH_JSON=BENCH_PR2.json VMIN_BENCH_SAMPLES=3 \
     cargo bench -p vmin-bench --bench par_speedup

@@ -21,7 +21,10 @@
 //! the active `vmin-par` thread count to that path as JSON — both in bench
 //! mode and in smoke mode, where the single pass is timed as one sample.
 
-use std::time::{Duration, Instant};
+// Timing goes through `vmin_trace::clock`, the workspace's sole sanctioned
+// wall-clock owner (the `det-wall-clock` lint denies `Instant` elsewhere).
+use std::time::Duration;
+use vmin_trace::clock;
 
 /// One benchmark's timing summary, kept for the JSON report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +122,9 @@ impl Criterion {
                 ),
             }
         }
+        // Metrics accumulated while the benchmarks ran; written only when
+        // `VMIN_TRACE_JSON` names a path.
+        let _ = vmin_trace::export::write_json_if_configured(vmin_par::current_threads());
     }
 
     /// The recorded per-benchmark summaries, in execution order.
@@ -235,14 +241,14 @@ impl Bencher {
     /// pass as the only sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         if !self.bench_mode {
-            let t0 = Instant::now();
+            let t0 = clock::now();
             std::hint::black_box(f());
             self.times.push(t0.elapsed());
             return;
         }
         std::hint::black_box(f()); // warm-up
         for _ in 0..self.samples {
-            let t0 = Instant::now();
+            let t0 = clock::now();
             std::hint::black_box(f());
             self.times.push(t0.elapsed());
         }
@@ -256,7 +262,7 @@ impl Bencher {
     {
         if !self.bench_mode {
             let input = setup();
-            let t0 = Instant::now();
+            let t0 = clock::now();
             std::hint::black_box(routine(input));
             self.times.push(t0.elapsed());
             return;
@@ -264,7 +270,7 @@ impl Bencher {
         std::hint::black_box(routine(setup())); // warm-up
         for _ in 0..self.samples {
             let input = setup();
-            let t0 = Instant::now();
+            let t0 = clock::now();
             std::hint::black_box(routine(input));
             self.times.push(t0.elapsed());
         }

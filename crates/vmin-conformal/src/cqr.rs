@@ -82,6 +82,8 @@ impl<L: Regressor, H: Regressor> Cqr<L, H> {
                 self.alpha
             )));
         }
+        let _span = vmin_trace::span("conformal.cqr.fit_calibrate");
+        vmin_trace::counter_add("conformal.cqr.fits", 1);
         // The pair's fits are independent; run them on two threads when the
         // pool allows. Each fit is unchanged, so the result is bit-identical
         // to fitting serially.
@@ -119,7 +121,10 @@ impl<L: Regressor, H: Regressor> Cqr<L, H> {
             .zip(y_cal)
             .map(|((l, h), y)| (l - y).max(y - h))
             .collect();
-        self.qhat = Some(conformal_quantile(&scores, self.alpha)?);
+        let qhat = conformal_quantile(&scores, self.alpha)?;
+        vmin_trace::counter_add("conformal.cqr.calibrations", 1);
+        vmin_trace::gauge_max("conformal.cqr.qhat.max", qhat);
+        self.qhat = Some(qhat);
         Ok(())
     }
 

@@ -162,6 +162,8 @@ impl<L: Regressor, H: Regressor> GuardedCqr<L, H> {
         y_cal: &[f64],
         config: &GuardConfig,
     ) -> Result<Self> {
+        let _span = vmin_trace::span("conformal.guard.fit_calibrate_audited");
+        vmin_trace::counter_add("conformal.guard.audits", 1);
         config.validate()?;
         if x_cal.rows() != y_cal.len() {
             return Err(ConformalError::InvalidArgument(format!(
@@ -227,6 +229,7 @@ impl<L: Regressor, H: Regressor> GuardedCqr<L, H> {
 
         let audit_coverage = coverage_at(qhat);
         if audit_coverage >= required {
+            vmin_trace::counter_add("conformal.guard.passed", 1);
             return Ok(GuardedCqr {
                 cqr,
                 qhat,
@@ -238,6 +241,7 @@ impl<L: Regressor, H: Regressor> GuardedCqr<L, H> {
         // distributions. No widening derived from this data is trustworthy.
         let severe_floor = (target - config.severe_sds * sd).max(0.0);
         if audit_coverage < severe_floor {
+            vmin_trace::counter_add("conformal.guard.rejected", 1);
             return Err(ConformalError::CalibrationContaminated {
                 audit_coverage,
                 required,
@@ -254,12 +258,14 @@ impl<L: Regressor, H: Regressor> GuardedCqr<L, H> {
         if !qhat_wide.is_finite() {
             // Audit slice too small for the rank-based α quantile: the
             // deficit cannot be re-certified from held-out data.
+            vmin_trace::counter_add("conformal.guard.rejected", 1);
             return Err(ConformalError::CalibrationContaminated {
                 audit_coverage,
                 required,
             });
         }
         let widened_coverage = coverage_at(qhat_wide);
+        vmin_trace::counter_add("conformal.guard.widened", 1);
         Ok(GuardedCqr {
             cqr,
             qhat: qhat_wide,

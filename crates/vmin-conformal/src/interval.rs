@@ -147,8 +147,14 @@ pub fn evaluate_intervals(intervals: &[PredictionInterval], y_true: &[f64]) -> I
         .map(PredictionInterval::length)
         .sum::<f64>()
         / intervals.len() as f64;
+    let coverage = covered as f64 / y_true.len() as f64;
+    vmin_trace::counter_add("conformal.eval.batches", 1);
+    vmin_trace::counter_add("conformal.eval.points", y_true.len() as u64);
+    vmin_trace::counter_add("conformal.eval.covered", covered as u64);
+    vmin_trace::histogram_record("conformal.eval.coverage", coverage);
+    vmin_trace::histogram_record("conformal.eval.mean_length", mean_length);
     IntervalReport {
-        coverage: covered as f64 / y_true.len() as f64,
+        coverage,
         mean_length,
         n: y_true.len(),
     }

@@ -104,6 +104,8 @@ pub fn run_point_cell(
     feature_set: FeatureSet,
     cfg: &ExperimentConfig,
 ) -> Result<PointEval, ExperimentError> {
+    let _span = vmin_trace::span("core.run_point_cell");
+    vmin_trace::counter_add("core.cells.point", 1);
     let ds = assemble_dataset(campaign, read_point, temp_idx, feature_set)?;
     let kf = KFold::new(ds.n_samples(), cfg.folds, cfg.seed);
     let splits: Vec<_> = kf.iter().collect();
@@ -150,6 +152,8 @@ pub fn run_region_cell(
     feature_set: FeatureSet,
     cfg: &ExperimentConfig,
 ) -> Result<RegionEval, ExperimentError> {
+    let _span = vmin_trace::span("core.run_region_cell");
+    vmin_trace::counter_add("core.cells.region", 1);
     let ds = assemble_dataset(campaign, read_point, temp_idx, feature_set)?;
     let kf = KFold::new(ds.n_samples(), cfg.folds, cfg.seed);
     let splits: Vec<_> = kf.iter().collect();
@@ -183,6 +187,8 @@ pub fn run_region_cell(
         cov_sum += eval.coverage;
     }
     let k = cfg.folds as f64;
+    vmin_trace::histogram_record("core.cell.coverage", cov_sum / k);
+    vmin_trace::histogram_record("core.cell.mean_length", len_sum / k);
     Ok(RegionEval {
         mean_length: len_sum / k,
         coverage: cov_sum / k,

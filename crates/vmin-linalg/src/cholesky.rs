@@ -42,6 +42,8 @@ impl Cholesky {
                 "cholesky requires a non-empty square matrix".into(),
             ));
         }
+        let _span = vmin_trace::span("linalg.cholesky.factor");
+        vmin_trace::counter_add("linalg.cholesky.factorizations", 1);
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {

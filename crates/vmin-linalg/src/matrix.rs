@@ -222,6 +222,12 @@ impl Matrix {
         if self.rows == 0 || n == 0 || self.cols == 0 {
             return Ok(out);
         }
+        let _span = vmin_trace::span("linalg.matmul");
+        vmin_trace::counter_add("linalg.matmul.calls", 1);
+        vmin_trace::counter_add(
+            "linalg.matmul.fma",
+            (self.rows as u64) * (self.cols as u64) * (n as u64),
+        );
         vmin_par::par_chunks_mut(&mut out.data, ROW_BLOCK * n, MIN_PAR_BLOCKS, |bi, block| {
             let i0 = bi * ROW_BLOCK;
             for (di, out_row) in block.chunks_mut(n).enumerate() {
@@ -260,6 +266,7 @@ impl Matrix {
                 v.len()
             )));
         }
+        vmin_trace::counter_add("linalg.matvec.calls", 1);
         let mut out = vec![0.0; self.rows];
         // One parallel unit per MATVEC_BLOCK output elements: matvec rows
         // are cheap, so the unit is coarser than the matmul row block.
@@ -295,6 +302,7 @@ impl Matrix {
                 v.len()
             )));
         }
+        vmin_trace::counter_add("linalg.matvec_t.calls", 1);
         let mut out = vec![0.0; self.cols];
         let c = self.cols;
         // Parallel over column segments: every worker streams all rows but
@@ -324,6 +332,8 @@ impl Matrix {
         if c == 0 || self.rows == 0 {
             return g;
         }
+        let _span = vmin_trace::span("linalg.gram");
+        vmin_trace::counter_add("linalg.gram.calls", 1);
         vmin_par::par_chunks_mut(&mut g.data, ROW_BLOCK * c, MIN_PAR_BLOCKS, |bi, block| {
             let a0 = bi * ROW_BLOCK;
             for i in 0..self.rows {

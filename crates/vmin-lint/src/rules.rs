@@ -21,12 +21,15 @@ use crate::lexer::{TokKind, Token};
 /// the strict determinism rules apply only here. `vmin-bench` (timing),
 /// `vmin-data` (I/O-adjacent hygiene), `vmin-rng`/`vmin-par` (the blessed
 /// randomness/threading providers) and the lint itself are exempt.
+/// `vmin-trace` is numeric too — its merged metrics must be deterministic —
+/// but it alone carries the wall-clock carve-out (see `det-wall-clock`).
 pub const NUMERIC_CRATES: &[&str] = &[
     "vmin-linalg",
     "vmin-models",
     "vmin-conformal",
     "vmin-core",
     "vmin-silicon",
+    "vmin-trace",
 ];
 
 /// How a rule's findings are enforced.
@@ -66,9 +69,9 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "det-wall-clock",
         severity: Severity::Deny,
-        scope: "numeric crates",
-        summary: "std::time::{Instant, SystemTime} leak wall-clock state into numeric code; \
-                  results must be a function of inputs and seeds only",
+        scope: "all crates except vmin-trace (non-test code)",
+        summary: "std::time::{Instant, SystemTime} leak wall-clock state; vmin-trace is the \
+                  workspace's single sanctioned clock owner — time through its span/clock API",
     },
     RuleInfo {
         name: "det-hash-collection",
@@ -172,19 +175,23 @@ pub fn check_tokens(ctx: &FileCtx<'_>, toks: &[Token]) -> Vec<Finding> {
     let numeric = NUMERIC_CRATES.contains(&ctx.crate_name);
     let not_rng = ctx.crate_name != "vmin-rng";
     let not_par = ctx.crate_name != "vmin-par";
+    // The one sanctioned clock owner: every other crate must time through
+    // `vmin_trace::clock`/`vmin_trace::span` so wall-clock state stays out
+    // of decision paths.
+    let clock_scoped = ctx.crate_name != "vmin-trace";
 
     for (i, t) in toks.iter().enumerate() {
         match t.kind {
             TokKind::Ident => {
                 let name = t.text.as_str();
                 match name {
-                    "Instant" | "SystemTime" if numeric && !t.in_test => out.push(Finding {
+                    "Instant" | "SystemTime" if clock_scoped && !t.in_test => out.push(Finding {
                         rule: "det-wall-clock",
                         line: t.line,
                         message: format!(
-                            "`{name}` in numeric crate `{}`: wall-clock state breaks the \
-                             bit-identical determinism contract; time nothing here (benches \
-                             live in vmin-bench)",
+                            "`{name}` in crate `{}`: wall-clock state breaks the bit-identical \
+                             determinism contract; `vmin-trace` is the only sanctioned clock \
+                             owner (use `vmin_trace::span`/`vmin_trace::clock`)",
                             ctx.crate_name
                         ),
                     }),

@@ -19,14 +19,20 @@ fn fired(crate_name: &str, src: &str) -> Vec<&'static str> {
 }
 
 #[test]
-fn det_wall_clock_fires_in_numeric_crates_only() {
+fn det_wall_clock_fires_everywhere_except_vmin_trace() {
     let src = "fn tiebreak() -> u64 { Instant::now().elapsed().as_nanos() as u64 }";
-    for krate in NUMERIC_CRATES {
+    for krate in NUMERIC_CRATES.iter().filter(|k| **k != "vmin-trace") {
         assert_eq!(fired(krate, src), vec!["det-wall-clock"], "in {krate}");
     }
-    assert!(fired("vmin-bench", src).is_empty(), "vmin-bench is exempt");
+    // The rule is workspace-wide, not numeric-only: benches must also time
+    // through the sanctioned clock.
+    assert_eq!(fired("vmin-bench", src), vec!["det-wall-clock"]);
+    assert_eq!(fired("vmin-data", src), vec!["det-wall-clock"]);
+    // The single sanctioned clock owner.
+    assert!(fired("vmin-trace", src).is_empty(), "vmin-trace carve-out");
     let sys = "fn stamp() { let _ = std::time::SystemTime::now(); }";
     assert_eq!(fired("vmin-conformal", sys), vec!["det-wall-clock"]);
+    assert!(fired("vmin-trace", sys).is_empty(), "vmin-trace carve-out");
 }
 
 #[test]

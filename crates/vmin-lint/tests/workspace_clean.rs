@@ -69,3 +69,59 @@ fn workspace_ratchet_has_no_regressions_and_tight_baseline() {
     assert!(is_clean(&report, &ratchet));
     assert!(json.contains("\"status\": \"clean\""));
 }
+
+/// Recursively collects `.rs` files under `dir` into `out`.
+fn rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn vmin_trace_is_the_only_clock_user_in_the_workspace() {
+    // Independent of the rule table: lex every crate's non-test source and
+    // record which crates mention `Instant`/`SystemTime` at all. The clock
+    // carve-out in `det-wall-clock` is only sound while that set is exactly
+    // {vmin-trace} — if another crate starts timing, this test localizes it
+    // even if someone also weakens the rule.
+    use vmin_lint::lexer::{lex, mark_test_regions, TokKind};
+    let crates_dir = workspace_root().join("crates");
+    let mut clock_users: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let entries = std::fs::read_dir(&crates_dir).expect("list crates/");
+    for entry in entries.flatten() {
+        let krate = entry.file_name().to_string_lossy().into_owned();
+        let src_dir = entry.path().join("src");
+        let mut files = Vec::new();
+        rs_files(&src_dir, &mut files);
+        assert!(
+            !files.is_empty(),
+            "crate {krate} has no src/*.rs — scan is broken"
+        );
+        for file in files {
+            let src = std::fs::read_to_string(&file).expect("read source file");
+            let mut toks = lex(&src);
+            mark_test_regions(&mut toks);
+            if toks.iter().any(|t| {
+                t.kind == TokKind::Ident
+                    && !t.in_test
+                    && (t.text == "Instant" || t.text == "SystemTime")
+            }) {
+                clock_users.insert(krate.clone());
+            }
+        }
+    }
+    let expected: std::collections::BTreeSet<String> = ["vmin-trace".to_string()].into();
+    assert_eq!(
+        clock_users, expected,
+        "non-test wall-clock identifiers outside vmin-trace (or the sole \
+         sanctioned user disappeared)"
+    );
+}

@@ -103,6 +103,9 @@ impl Regressor for GradientBoost {
         self.base_score = self.loss.optimal_constant(y);
         self.trees.clear();
 
+        let _span = vmin_trace::span("models.gbt.fit");
+        vmin_trace::counter_add("models.gbt.fits", 1);
+        vmin_trace::counter_add("models.gbt.rounds", self.params.n_rounds as u64);
         let mut preds = vec![self.base_score; n];
         let mut grad = vec![0.0; n];
         let mut hess = vec![0.0; n];

@@ -177,6 +177,9 @@ impl Regressor for ObliviousBoost {
         };
         self.trees.clear();
 
+        let _span = vmin_trace::span("models.oblivious.fit");
+        vmin_trace::counter_add("models.oblivious.fits", 1);
+        vmin_trace::counter_add("models.oblivious.rounds", self.params.n_rounds as u64);
         let borders = self.compute_borders(x);
         // Pre-bin every feature value: bin(v) = #{t ∈ borders : v > t}, so
         // splitting at border k sends a sample right iff its bin > k. This

@@ -76,8 +76,10 @@ impl GradientTree {
         assert_eq!(x.rows(), grad.len(), "tree: grad length mismatch");
         assert_eq!(x.rows(), hess.len(), "tree: hess length mismatch");
         assert!(!rows.is_empty(), "tree: empty sample subset");
+        vmin_trace::counter_add("models.tree.fits", 1);
         let mut nodes = Vec::new();
         build(x, grad, hess, rows, params, 0, &mut nodes);
+        vmin_trace::counter_add("models.tree.nodes", nodes.len() as u64);
         GradientTree { nodes }
     }
 
@@ -203,6 +205,9 @@ fn build(
     // same strict `>` with a 0.0 floor as the serial scan, so the winner is
     // identical to serial at any thread count.
     let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+    // Node-level counter (not inside the per-feature closure): one scan per
+    // candidate node, so totals stay cheap and thread-count independent.
+    vmin_trace::counter_add("models.tree.split_scans", 1);
     let features: Vec<usize> = (0..x.cols()).collect();
     let min_feats = if rows.len() >= PAR_MIN_NODE_ROWS {
         PAR_MIN_FEATURES

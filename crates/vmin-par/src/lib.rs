@@ -32,6 +32,18 @@
 //! runs serially on the current thread, so tiny work loads never pay the
 //! thread-spawn cost.
 //!
+//! ## Observability
+//!
+//! Every combinator records `vmin-trace` metrics: call and item counts as
+//! deterministic counters (their totals are partition-independent), and
+//! spawned-task / serial-fallback counts as **topology** counters, which
+//! legitimately vary with the thread count and are exempt from the
+//! cross-`VMIN_THREADS` identity checks. Worker threads inherit the
+//! spawning thread's trace context, so metrics recorded inside worker
+//! closures merge into the same collector as the caller's — this is what
+//! makes `vmin_trace::with_collector` see a parallel region's full metric
+//! set regardless of partitioning.
+//!
 //! ## Example
 //!
 //! ```
@@ -128,12 +140,18 @@ where
     RA: Send,
     RB: Send,
 {
+    vmin_trace::counter_add("par.calls.join", 1);
     if current_threads() <= 1 {
+        vmin_trace::topology_add("par.serial.fallback", 1);
         return (a(), b());
     }
+    let ctx = vmin_trace::current_context();
+    vmin_trace::topology_add("par.tasks.spawned", 1);
     std::thread::scope(|s| {
-        let hb = s.spawn(|| {
+        let ctx = &ctx;
+        let hb = s.spawn(move || {
             IN_WORKER.with(|w| w.set(true));
+            let _trace = vmin_trace::enter_context(ctx);
             b()
         });
         let ra = a();
@@ -163,19 +181,26 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    vmin_trace::counter_add("par.calls.par_map", 1);
+    vmin_trace::counter_add("par.items.par_map", items.len() as u64);
     let threads = current_threads().min(items.len());
     if threads <= 1 || items.len() < min_items.max(2) {
+        vmin_trace::topology_add("par.serial.fallback", 1);
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let chunk = items.len().div_ceil(threads);
+    vmin_trace::topology_add("par.tasks.spawned", items.len().div_ceil(chunk) as u64);
+    let ctx = vmin_trace::current_context();
     let f = &f;
     std::thread::scope(|s| {
+        let ctx = &ctx;
         let handles: Vec<_> = items
             .chunks(chunk)
             .enumerate()
             .map(|(ci, slice)| {
                 s.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
+                    let _trace = vmin_trace::enter_context(ctx);
                     let base = ci * chunk;
                     slice
                         .iter()
@@ -215,25 +240,35 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
+    vmin_trace::counter_add("par.calls.par_chunks_mut", 1);
+    vmin_trace::counter_add("par.items.par_chunks_mut", data.len() as u64);
     let n_chunks = data.len().div_ceil(chunk_len);
     let threads = current_threads().min(n_chunks);
     if threads <= 1 || n_chunks < min_chunks.max(2) {
+        vmin_trace::topology_add("par.serial.fallback", 1);
         for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(ci, chunk);
         }
         return;
     }
+    let chunks_per_thread = n_chunks.div_ceil(threads);
+    vmin_trace::topology_add(
+        "par.tasks.spawned",
+        n_chunks.div_ceil(chunks_per_thread) as u64,
+    );
+    let ctx = vmin_trace::current_context();
     let f = &f;
     std::thread::scope(|s| {
+        let ctx = &ctx;
         // One spawned task per group of chunks, so thread count stays
         // bounded even for many small chunks.
-        let chunks_per_thread = n_chunks.div_ceil(threads);
         let handles: Vec<_> = data
             .chunks_mut(chunk_len * chunks_per_thread)
             .enumerate()
             .map(|(gi, group)| {
                 s.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
+                    let _trace = vmin_trace::enter_context(ctx);
                     for (k, chunk) in group.chunks_mut(chunk_len).enumerate() {
                         f(gi * chunks_per_thread + k, chunk);
                     }

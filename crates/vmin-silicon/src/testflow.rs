@@ -70,6 +70,15 @@ impl Campaign {
     /// therefore independent of thread partitioning and the campaign is
     /// bit-identical at any `VMIN_THREADS` value.
     pub fn run(spec: &DatasetSpec, seed: u64) -> Campaign {
+        let _span = vmin_trace::span("silicon.campaign.run");
+        vmin_trace::counter_add("silicon.campaign.runs", 1);
+        vmin_trace::counter_add("silicon.chips.fabricated", spec.chip_count as u64);
+        vmin_trace::counter_add(
+            "silicon.vmin.searches",
+            (spec.chip_count as u64)
+                * (spec.stress.read_points.len() as u64)
+                * (spec.vmin_test.temperatures.len() as u64),
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let chips = ChipFactory::new(spec.clone()).fabricate(&mut rng);
         let program = ParametricProgram::generate(&mut rng, &spec.parametric);

@@ -2,6 +2,18 @@
 //! uncertainty-quantification method, verified empirically across
 //! distribution shapes — the "distribution-free coverage guarantee" row in
 //! particular.
+//!
+//! The positive tests do not use hand-tuned coverage tolerances. For `m`
+//! calibration scores at miscoverage α the CQR/split-CP coverage is
+//! governed by an *exact* finite-sample law (Beta-Binomial counts, see
+//! `support/binomial.rs`), so each assertion checks the observed covered
+//! count against a two-sided acceptance region whose failure probability
+//! under the theory is at most [`DELTA`]. A pass means the implementation
+//! is consistent with the guarantee; a fail is (overwhelmingly) a
+//! calibration bug, not an unlucky seed.
+
+#[path = "support/binomial.rs"]
+mod binomial;
 
 use cqr_vmin::conformal::{
     evaluate_intervals, Cqr, CqrAsymmetric, PredictionInterval, SplitConformal,
@@ -11,6 +23,19 @@ use cqr_vmin::models::{Ensemble, LinearRegression, QuantileLinear, Regressor};
 use vmin_rng::ChaCha8Rng;
 use vmin_rng::Rng;
 use vmin_rng::SeedableRng;
+
+/// Miscoverage target for the guarantee tests (the paper's α = 0.1).
+const ALPHA: f64 = 0.1;
+/// Synthetic split sizes: train / calibration / test.
+const N_TRAIN: usize = 70;
+const N_CAL: usize = 40;
+const N_TEST: usize = 60;
+/// Independent repetitions per noise family (distinct seeds → iid runs).
+const REPS: usize = 12;
+/// Test-level failure probability for each statistical assertion. Under
+/// the finite-sample theory an assertion fires with probability ≤ DELTA,
+/// so a red test is evidence of a bug, not noise.
+const DELTA: f64 = 1e-6;
 
 /// Families of noise distributions — the guarantee must hold for all of
 /// them without modification (distribution-freeness).
@@ -24,6 +49,13 @@ enum Noise {
     /// Heteroscedastic uniform.
     Hetero,
 }
+
+const ALL_NOISE: [Noise; 4] = [
+    Noise::Uniform,
+    Noise::HeavyTail,
+    Noise::Skewed,
+    Noise::Hetero,
+];
 
 fn draw(n: usize, noise: Noise, seed: u64) -> (Matrix, Vec<f64>) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -47,6 +79,22 @@ fn draw(n: usize, noise: Noise, seed: u64) -> (Matrix, Vec<f64>) {
     (Matrix::from_rows(&rows).unwrap(), y)
 }
 
+fn covered_count(intervals: &[PredictionInterval], y: &[f64]) -> usize {
+    intervals
+        .iter()
+        .zip(y)
+        .filter(|(iv, yi)| iv.contains(**yi))
+        .count()
+}
+
+/// Sums a per-run covered count over [`REPS`] independent seeds.
+fn total_covered<F>(noise: Noise, mut one_run: F) -> usize
+where
+    F: FnMut(Noise, u64) -> usize,
+{
+    (0..REPS as u64).map(|s| one_run(noise, s * 3001 + 5)).sum()
+}
+
 fn average_coverage<F>(noise: Noise, reps: u64, mut one_run: F) -> f64
 where
     F: FnMut(Noise, u64) -> f64,
@@ -54,26 +102,69 @@ where
     (0..reps).map(|s| one_run(noise, s * 3001 + 5)).sum::<f64>() / reps as f64
 }
 
-fn cqr_run(noise: Noise, seed: u64) -> f64 {
-    let (x_tr, y_tr) = draw(70, noise, seed);
-    let (x_ca, y_ca) = draw(40, noise, seed + 1);
-    let (x_te, y_te) = draw(60, noise, seed + 2);
+fn cqr_covered(noise: Noise, seed: u64) -> usize {
+    let (x_tr, y_tr) = draw(N_TRAIN, noise, seed);
+    let (x_ca, y_ca) = draw(N_CAL, noise, seed + 1);
+    let (x_te, y_te) = draw(N_TEST, noise, seed + 2);
     let mut cqr = Cqr::new(
-        QuantileLinear::new(0.1).with_training(300, 0.02),
-        QuantileLinear::new(0.9).with_training(300, 0.02),
-        0.2,
+        QuantileLinear::new(ALPHA / 2.0).with_training(300, 0.02),
+        QuantileLinear::new(1.0 - ALPHA / 2.0).with_training(300, 0.02),
+        ALPHA,
     );
     cqr.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
-    evaluate_intervals(&cqr.predict_intervals(&x_te).unwrap(), &y_te).coverage
+    covered_count(&cqr.predict_intervals(&x_te).unwrap(), &y_te)
 }
 
-fn split_cp_run(noise: Noise, seed: u64) -> f64 {
-    let (x_tr, y_tr) = draw(70, noise, seed);
-    let (x_ca, y_ca) = draw(40, noise, seed + 1);
-    let (x_te, y_te) = draw(60, noise, seed + 2);
-    let mut cp = SplitConformal::new(LinearRegression::new(), 0.2);
+fn split_cp_covered(noise: Noise, seed: u64) -> usize {
+    let (x_tr, y_tr) = draw(N_TRAIN, noise, seed);
+    let (x_ca, y_ca) = draw(N_CAL, noise, seed + 1);
+    let (x_te, y_te) = draw(N_TEST, noise, seed + 2);
+    let mut cp = SplitConformal::new(LinearRegression::new(), ALPHA);
     cp.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
-    evaluate_intervals(&cp.predict_intervals(&x_te).unwrap(), &y_te).coverage
+    covered_count(&cp.predict_intervals(&x_te).unwrap(), &y_te)
+}
+
+/// Two-sided acceptance region for the [`REPS`]-rep total covered count of
+/// a symmetric conformal method with [`N_CAL`] calibration scores: per rep
+/// the count is BetaBin(N_TEST, k, N_CAL+1−k) with k = ⌈(N_CAL+1)(1−α)⌉,
+/// and independent reps convolve.
+fn symmetric_acceptance() -> (usize, usize) {
+    let per_rep = binomial::covered_pmf(N_TEST, N_CAL, ALPHA);
+    let sum = binomial::iid_sum_pmf(&per_rep, REPS);
+    binomial::two_sided_acceptance(&sum, DELTA)
+}
+
+#[test]
+fn cqr_guarantee_holds_across_distributions() {
+    // Each family's assertion fails with probability ≤ DELTA under the
+    // exact law; the union over the four families stays below 4·DELTA.
+    let (lo, hi) = symmetric_acceptance();
+    let n_total = REPS * N_TEST;
+    for noise in ALL_NOISE {
+        let covered = total_covered(noise, cqr_covered);
+        assert!(
+            (lo..=hi).contains(&covered),
+            "{noise:?}: CQR covered {covered}/{n_total} outside the exact \
+             finite-sample acceptance region [{lo}, {hi}] \
+             (BetaBin with ncal={N_CAL}, α={ALPHA}, {REPS} reps, δ={DELTA:e})"
+        );
+    }
+}
+
+#[test]
+fn split_cp_guarantee_holds_across_distributions() {
+    // Split CP's absolute-residual score obeys the same rank law, so the
+    // acceptance region is identical to CQR's.
+    let (lo, hi) = symmetric_acceptance();
+    let n_total = REPS * N_TEST;
+    for noise in ALL_NOISE {
+        let covered = total_covered(noise, split_cp_covered);
+        assert!(
+            (lo..=hi).contains(&covered),
+            "{noise:?}: split CP covered {covered}/{n_total} outside the \
+             exact finite-sample acceptance region [{lo}, {hi}]"
+        );
+    }
 }
 
 fn raw_qr_run(noise: Noise, seed: u64) -> f64 {
@@ -81,7 +172,7 @@ fn raw_qr_run(noise: Noise, seed: u64) -> f64 {
     // not transfer to test data (Table I: "coverage guarantee for test
     // data" = ✗ for QR).
     let (x_tr, y_tr) = draw(20, noise, seed);
-    let (x_te, y_te) = draw(60, noise, seed + 2);
+    let (x_te, y_te) = draw(N_TEST, noise, seed + 2);
     let mut lo = QuantileLinear::new(0.1).with_training(300, 0.02);
     let mut hi = QuantileLinear::new(0.9).with_training(300, 0.02);
     lo.fit(&x_tr, &y_tr).unwrap();
@@ -98,49 +189,12 @@ fn raw_qr_run(noise: Noise, seed: u64) -> f64 {
 }
 
 #[test]
-fn cqr_guarantee_holds_across_distributions() {
-    for noise in [
-        Noise::Uniform,
-        Noise::HeavyTail,
-        Noise::Skewed,
-        Noise::Hetero,
-    ] {
-        let cov = average_coverage(noise, 12, cqr_run);
-        assert!(
-            cov >= 0.8 - 0.06,
-            "{noise:?}: CQR average coverage {cov:.3} below 1−α tolerance"
-        );
-    }
-}
-
-#[test]
-fn split_cp_guarantee_holds_across_distributions() {
-    for noise in [
-        Noise::Uniform,
-        Noise::HeavyTail,
-        Noise::Skewed,
-        Noise::Hetero,
-    ] {
-        let cov = average_coverage(noise, 12, split_cp_run);
-        assert!(
-            cov >= 0.8 - 0.06,
-            "{noise:?}: split CP average coverage {cov:.3} below tolerance"
-        );
-    }
-}
-
-#[test]
 fn raw_qr_has_no_test_coverage_guarantee() {
     // At least one distribution family must show material undercoverage —
     // this is precisely why the paper conformalizes.
     let mut worst = 1.0f64;
-    for noise in [
-        Noise::Uniform,
-        Noise::HeavyTail,
-        Noise::Skewed,
-        Noise::Hetero,
-    ] {
-        worst = worst.min(average_coverage(noise, 12, raw_qr_run));
+    for noise in ALL_NOISE {
+        worst = worst.min(average_coverage(noise, REPS as u64, raw_qr_run));
     }
     assert!(
         worst < 0.8,
@@ -153,7 +207,7 @@ fn ensemble_run(noise: Noise, seed: u64) -> f64 {
     // Table I "Ensemble" row: bootstrap ensemble with Gaussian intervals —
     // distribution-free in training but no test-data coverage guarantee.
     let (x_tr, y_tr) = draw(110, noise, seed);
-    let (x_te, y_te) = draw(60, noise, seed + 2);
+    let (x_te, y_te) = draw(N_TEST, noise, seed + 2);
     let mut ens = Ensemble::new(|| Box::new(LinearRegression::new()), 10, seed);
     ens.fit(&x_tr, &y_tr).unwrap();
     let ivs: Vec<PredictionInterval> = (0..x_te.rows())
@@ -170,13 +224,8 @@ fn ensemble_has_no_coverage_guarantee() {
     // The Gaussian-interval assumption breaks on at least one distribution
     // family (heavy tails in particular) — the ✗ in Table I's third row.
     let mut worst = 1.0f64;
-    for noise in [
-        Noise::Uniform,
-        Noise::HeavyTail,
-        Noise::Skewed,
-        Noise::Hetero,
-    ] {
-        worst = worst.min(average_coverage(noise, 12, ensemble_run));
+    for noise in ALL_NOISE {
+        worst = worst.min(average_coverage(noise, REPS as u64, ensemble_run));
     }
     assert!(
         worst < 0.8,
@@ -186,28 +235,116 @@ fn ensemble_has_no_coverage_guarantee() {
 
 #[test]
 fn asymmetric_cqr_also_carries_the_guarantee() {
-    for noise in [
-        Noise::Uniform,
-        Noise::HeavyTail,
-        Noise::Skewed,
-        Noise::Hetero,
-    ] {
-        let cov = average_coverage(noise, 12, |noise, seed| {
-            let (x_tr, y_tr) = draw(70, noise, seed);
-            let (x_ca, y_ca) = draw(40, noise, seed + 1);
-            let (x_te, y_te) = draw(60, noise, seed + 2);
+    // Asymmetric CQR calibrates each side at α/2, so each side's *miss*
+    // count per rep is BetaBin(N_TEST, ncal+1−k', k') with
+    // k' = ⌈(ncal+1)(1−α/2)⌉. A test point misses on at most one side, so
+    // total misses = lower misses + upper misses exactly, and:
+    //   upper: P(total > 2t) ≤ P(S_lo > t) + P(S_hi > t)      (union bound)
+    //   lower: P(total < t)  ≤ P(S_lo < t)                     (S_hi ≥ 0)
+    // Both bounds are distribution-free; no independence between the two
+    // sides is assumed.
+    let k_side = binomial::conformal_rank(N_CAL, ALPHA / 2.0);
+    assert!(
+        k_side <= N_CAL,
+        "calibration set too small for α/2 per side"
+    );
+    let side_miss = binomial::beta_binomial_pmf(N_TEST, (N_CAL + 1 - k_side) as f64, k_side as f64);
+    let side_sum = binomial::iid_sum_pmf(&side_miss, REPS);
+    let t_up = binomial::upper_acceptance(&side_sum, DELTA / 4.0);
+    let t_lo = binomial::lower_acceptance(&side_sum, DELTA / 2.0);
+    let n_total = REPS * N_TEST;
+
+    for noise in ALL_NOISE {
+        let covered = total_covered(noise, |noise, seed| {
+            let (x_tr, y_tr) = draw(N_TRAIN, noise, seed);
+            let (x_ca, y_ca) = draw(N_CAL, noise, seed + 1);
+            let (x_te, y_te) = draw(N_TEST, noise, seed + 2);
             let mut cqr = CqrAsymmetric::new(
-                QuantileLinear::new(0.1).with_training(300, 0.02),
-                QuantileLinear::new(0.9).with_training(300, 0.02),
-                0.2,
+                QuantileLinear::new(ALPHA / 2.0).with_training(300, 0.02),
+                QuantileLinear::new(1.0 - ALPHA / 2.0).with_training(300, 0.02),
+                ALPHA,
             );
             cqr.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
-            evaluate_intervals(&cqr.predict_intervals(&x_te).unwrap(), &y_te).coverage
+            covered_count(&cqr.predict_intervals(&x_te).unwrap(), &y_te)
         });
+        let missed = n_total - covered;
         assert!(
-            cov >= 0.8 - 0.06,
-            "{noise:?}: asymmetric CQR average coverage {cov:.3} below tolerance"
+            missed <= 2 * t_up,
+            "{noise:?}: asymmetric CQR missed {missed}/{n_total}, above the \
+             per-side union bound 2·{t_up} (k'={k_side}, δ={DELTA:e})"
         );
+        assert!(
+            missed >= t_lo,
+            "{noise:?}: asymmetric CQR missed only {missed}/{n_total}, below \
+             the one-sided lower acceptance {t_lo} — intervals are wider than \
+             the finite-sample law allows"
+        );
+    }
+}
+
+#[test]
+fn pipeline_cqr_per_cell_coverage_meets_the_finite_sample_bound() {
+    // The same guarantee, asserted on the full silicon pipeline for every
+    // (read point × temperature) cell of a small campaign. Cell coverage is
+    // the mean over `cfg.folds` CV folds; within a fold the calibration and
+    // test chips are disjoint iid draws, so the fold's covered count is
+    // BetaBin(fold_test, k, ncal+1−k) with sizes derived from the config
+    // exactly as `flow.rs` derives them. The per-cell bound convolves the
+    // folds; that treats folds as independent (they share training rows,
+    // and feature scaling/CFS see the calibration rows), which is an
+    // approximation — the generous δ absorbs the weak coupling. The upper
+    // tail is vacuous at these sizes (an all-covered cell has probability
+    // ≈ 0.43 per fold), so only the lower bound is asserted; vmin's
+    // discretized voltage grid can only make coverage stochastically
+    // larger, which keeps the lower bound valid.
+    use cqr_vmin::core::{run_region_cell, ExperimentConfig, FeatureSet, PointModel, RegionMethod};
+    use cqr_vmin::silicon::{Campaign, DatasetSpec};
+
+    let spec = DatasetSpec::small();
+    let campaign = Campaign::run(&spec, 11);
+    let cfg = ExperimentConfig::fast();
+
+    let n = campaign.chip_count();
+    assert_eq!(n % cfg.folds, 0, "equal fold sizes assumed below");
+    let fold_test = n / cfg.folds;
+    let train_len = n - fold_test;
+    // Mirror flow.rs: train_test_split(train_len, 1 − cal_fraction, seed).
+    let n_proper =
+        (((1.0 - cfg.cal_fraction) * train_len as f64).ceil() as usize).clamp(1, train_len - 1);
+    let ncal = train_len - n_proper;
+    let k = binomial::conformal_rank(ncal, cfg.alpha);
+    let fold_pmf = binomial::covered_pmf(fold_test, ncal, cfg.alpha);
+    let cell_pmf = binomial::iid_sum_pmf(&fold_pmf, cfg.folds);
+    let lo = binomial::lower_acceptance(&cell_pmf, DELTA);
+    assert!(
+        lo * 2 > n,
+        "derived bound is too weak to be meaningful: {lo}/{n} \
+         (ncal={ncal}, k={k}) — config drifted?"
+    );
+
+    for rp in 0..campaign.read_points.len() {
+        for temp in 0..campaign.temperatures.len() {
+            let eval = run_region_cell(
+                &campaign,
+                rp,
+                temp,
+                RegionMethod::Cqr(PointModel::Linear),
+                FeatureSet::OnChip,
+                &cfg,
+            )
+            .expect("region cell");
+            // coverage is the mean of equal-sized fold coverages, so this
+            // recovers the integer covered count exactly.
+            let covered = (eval.coverage * n as f64).round() as usize;
+            assert!(
+                covered >= lo,
+                "cell (read point {rp}, temp {temp}): covered {covered}/{n} \
+                 below the finite-sample lower acceptance {lo} \
+                 (per fold BetaBin({fold_test}, {k}, {}), {} folds, δ={DELTA:e})",
+                ncal + 1 - k,
+                cfg.folds,
+            );
+        }
     }
 }
 

@@ -87,6 +87,73 @@ fn region_cell_and_study_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn thread_count_and_tracing_matrix_is_bit_identical() {
+    // The full observability contract as a matrix: VMIN_THREADS ∈ {1, 2, 8}
+    // × tracing {on, off}. Predictions must be byte-identical in every
+    // cell; the merged deterministic metrics (counters, gauges,
+    // histograms) must be identical across thread counts when tracing is
+    // on — timers and topology counts are the two documented exemptions —
+    // and tracing off must record nothing at all.
+    let run = |threads: usize, trace_on: bool| {
+        let prev = vmin_trace::set_enabled(trace_on);
+        let (bits, snap) = vmin_trace::with_collector(|| {
+            vmin_par::with_threads(threads, || {
+                let campaign = Campaign::run(&DatasetSpec::small(), 7);
+                let ds = assemble_dataset(&campaign, 0, 1, FeatureSet::Both).unwrap();
+                let predictor = VminPredictor::fit(
+                    &ds,
+                    RegionMethod::Cqr(PointModel::Linear),
+                    0.1,
+                    0.25,
+                    42,
+                    &ModelConfig::fast(),
+                )
+                .unwrap();
+                (0..ds.n_samples())
+                    .map(|i| {
+                        let iv = predictor.interval(ds.sample(i)).unwrap();
+                        (iv.lo().to_bits(), iv.hi().to_bits())
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        vmin_trace::set_enabled(prev);
+        (bits, snap)
+    };
+
+    let (ref_bits, ref_snap) = run(1, true);
+    assert!(
+        !ref_snap.counters.is_empty(),
+        "the instrumented pipeline recorded no counters"
+    );
+    assert!(
+        !ref_snap.timers.is_empty(),
+        "the instrumented pipeline recorded no span timers"
+    );
+    for threads in [1usize, 2, 8] {
+        for trace_on in [true, false] {
+            let (bits, snap) = run(threads, trace_on);
+            assert_eq!(
+                bits, ref_bits,
+                "intervals diverged at threads={threads} trace={trace_on}"
+            );
+            if trace_on {
+                assert_eq!(
+                    snap.deterministic_view(),
+                    ref_snap.deterministic_view(),
+                    "merged counters/gauges/histograms diverged at {threads} threads"
+                );
+            } else {
+                assert!(
+                    snap.is_empty(),
+                    "tracing off must record nothing (threads={threads}): {snap:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn par_map_preserves_input_order_at_any_thread_count() {
     // Awkward sizes exercise uneven chunking: remainders, fewer items than
     // threads, and single-item inputs.

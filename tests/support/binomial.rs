@@ -1,0 +1,217 @@
+//! Exact finite-sample acceptance regions for conformal coverage tests.
+//!
+//! For split CP / CQR with a continuous score distribution and `m`
+//! calibration points, the conformal quantile is the `k`-th smallest score
+//! with `k = ⌈(m+1)(1−α)⌉` (see `vmin_conformal::conformal_quantile`), and
+//! the coverage *conditional on the calibration set* is distributed
+//! `Beta(k, m+1−k)` (Vovk's conditional-validity result). The number of
+//! covered points among `n` exchangeable test points is therefore
+//! Beta-Binomial(n, k, m+1−k), and a sum over independent repetitions is
+//! the convolution of those PMFs. The tests derive *two-sided* acceptance
+//! regions from that exact law at a chosen test-level failure probability
+//! δ, replacing hand-tuned coverage tolerances: an assertion only fires
+//! with probability ≤ δ under the theory, and any systematic calibration
+//! bug lands far outside the region.
+//!
+//! Everything is computed with a Lanczos `ln Γ` — the workspace is
+//! dependency-free, so no statrs.
+
+/// Lanczos g=7, n=9 approximation of `ln Γ(x)` for `x > 0`.
+///
+/// Absolute error is far below 1e-10 over the ranges used here (arguments
+/// are at most a few thousand), which is negligible against the δ ≤ 1e-6
+/// tail budgets the tests work with.
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    assert!(x > 0.0, "ln_gamma domain: x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection keeps the small-argument cases accurate.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let z = x - 1.0;
+    let mut acc = G[0];
+    for (i, g) in G.iter().enumerate().skip(1) {
+        acc += g / (z + i as f64);
+    }
+    let t = z + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln B(a, b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// `ln C(n, k)`.
+pub fn ln_choose(n: usize, k: usize) -> f64 {
+    assert!(k <= n, "choose: k {k} > n {n}");
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// The conformal rank `k = ⌈(m+1)(1−α)⌉` for `m` calibration scores —
+/// kept textually in sync with `vmin_conformal::conformal_quantile`.
+pub fn conformal_rank(ncal: usize, alpha: f64) -> usize {
+    ((ncal as f64 + 1.0) * (1.0 - alpha)).ceil() as usize
+}
+
+/// PMF of Beta-Binomial(n, a, b) over `0..=n`, renormalized to kill the
+/// last float of drift.
+pub fn beta_binomial_pmf(n: usize, a: f64, b: f64) -> Vec<f64> {
+    assert!(a > 0.0 && b > 0.0, "beta-binomial needs a, b > 0");
+    let lnb = ln_beta(a, b);
+    let mut pmf: Vec<f64> = (0..=n)
+        .map(|j| (ln_choose(n, j) + ln_beta(a + j as f64, b + (n - j) as f64) - lnb).exp())
+        .collect();
+    let total: f64 = pmf.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "beta-binomial pmf mass {total} drifted from 1"
+    );
+    for p in &mut pmf {
+        *p /= total;
+    }
+    pmf
+}
+
+/// PMF of the number of covered points among `n_test` exchangeable test
+/// points for split CP / symmetric CQR with `ncal` calibration scores at
+/// miscoverage `alpha`: Beta-Binomial(n_test, k, ncal+1−k).
+///
+/// Panics when the conformal quantile would be infinite (k > ncal) — the
+/// interval is the whole line there and coverage is the trivial constant 1.
+pub fn covered_pmf(n_test: usize, ncal: usize, alpha: f64) -> Vec<f64> {
+    let k = conformal_rank(ncal, alpha);
+    assert!(
+        k <= ncal,
+        "calibration set of {ncal} too small for alpha {alpha} (rank {k})"
+    );
+    beta_binomial_pmf(n_test, k as f64, (ncal + 1 - k) as f64)
+}
+
+/// Convolution of two PMFs on `0..=len-1` supports.
+pub fn convolve(p: &[f64], q: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; p.len() + q.len() - 1];
+    for (i, &pi) in p.iter().enumerate() {
+        if pi == 0.0 {
+            continue;
+        }
+        for (j, &qj) in q.iter().enumerate() {
+            out[i + j] += pi * qj;
+        }
+    }
+    out
+}
+
+/// PMF of the sum of `reps` independent copies of `pmf`.
+pub fn iid_sum_pmf(pmf: &[f64], reps: usize) -> Vec<f64> {
+    assert!(reps >= 1, "need at least one repetition");
+    let mut out = pmf.to_vec();
+    for _ in 1..reps {
+        out = convolve(&out, pmf);
+    }
+    out
+}
+
+/// Largest `t` with `P(X < t) ≤ tail` — asserting `x >= t` fails with
+/// probability at most `tail` under the PMF.
+pub fn lower_acceptance(pmf: &[f64], tail: f64) -> usize {
+    let mut below = 0.0;
+    for (t, &p) in pmf.iter().enumerate() {
+        if below + p > tail {
+            return t;
+        }
+        below += p;
+    }
+    pmf.len() - 1
+}
+
+/// Smallest `t` with `P(X > t) ≤ tail` — asserting `x <= t` fails with
+/// probability at most `tail` under the PMF.
+pub fn upper_acceptance(pmf: &[f64], tail: f64) -> usize {
+    let mut above = 0.0;
+    for (t, &p) in pmf.iter().enumerate().rev() {
+        if above + p > tail {
+            return t;
+        }
+        above += p;
+    }
+    0
+}
+
+/// Two-sided acceptance region `[lo, hi]` at test-level failure
+/// probability `delta` (δ/2 per tail): `P(X < lo) ≤ δ/2` and
+/// `P(X > hi) ≤ δ/2`.
+pub fn two_sided_acceptance(pmf: &[f64], delta: f64) -> (usize, usize) {
+    (
+        lower_acceptance(pmf, delta / 2.0),
+        upper_acceptance(pmf, delta / 2.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n+1) = n!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &f) in facts.iter().enumerate() {
+            let got = ln_gamma(n as f64 + 1.0);
+            assert!(
+                (got - f64::ln(f)).abs() < 1e-10,
+                "ln_gamma({}) = {got}, want ln({f})",
+                n + 1
+            );
+        }
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn beta_binomial_reduces_to_uniform_for_a_b_one() {
+        // BetaBin(n, 1, 1) is uniform on 0..=n.
+        let pmf = beta_binomial_pmf(7, 1.0, 1.0);
+        for &p in &pmf {
+            assert!((p - 1.0 / 8.0).abs() < 1e-12, "{pmf:?}");
+        }
+    }
+
+    #[test]
+    fn conformal_rank_matches_quantile_doc_cases() {
+        // M = 9, α = 0.1 → rank 9 (the conformal_quantile doctest case).
+        assert_eq!(conformal_rank(9, 0.1), 9);
+        // M = 4, α = 0.5 → rank 3.
+        assert_eq!(conformal_rank(4, 0.5), 3);
+        // M = 40, α = 0.1 → rank 37.
+        assert_eq!(conformal_rank(40, 0.1), 37);
+    }
+
+    #[test]
+    fn acceptance_regions_bracket_the_mean_and_nest() {
+        let pmf = covered_pmf(60, 40, 0.1); // BetaBin(60, 37, 4)
+        let sum = iid_sum_pmf(&pmf, 12);
+        let mean = 12.0 * 60.0 * 37.0 / 41.0;
+        let (lo, hi) = two_sided_acceptance(&sum, 1e-6);
+        assert!(
+            (lo as f64) < mean && mean < hi as f64,
+            "[{lo}, {hi}] vs {mean}"
+        );
+        let (lo9, hi9) = two_sided_acceptance(&sum, 1e-9);
+        assert!(lo9 <= lo && hi <= hi9, "smaller δ must widen the region");
+        // Total mass outside [lo, hi] really is ≤ δ.
+        let outside: f64 = sum[..lo].iter().sum::<f64>() + sum[hi + 1..].iter().sum::<f64>();
+        assert!(outside <= 1e-6, "outside mass {outside}");
+    }
+}
