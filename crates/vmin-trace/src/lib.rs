@@ -31,6 +31,7 @@
 //! ## Example
 //!
 //! ```
+//! # vmin_trace::set_enabled(true); // pin the flag: doctests must pass under VMIN_TRACE=0
 //! let ((), snap) = vmin_trace::with_collector(|| {
 //!     vmin_trace::counter_add("demo.events", 3);
 //!     vmin_trace::gauge_max("demo.level", 0.75);
@@ -190,89 +191,113 @@ pub fn snapshot() -> Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// The enabled flag is process-global and the default harness runs
+    /// tests concurrently, so every test here pins the flag for its whole
+    /// duration under this lock — both to survive `VMIN_TRACE=0` in the
+    /// environment (the `ci.sh` trace-off pass) and to keep sibling tests
+    /// from flipping the flag mid-assertion.
+    static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_flag<R>(on: bool, f: impl FnOnce() -> R) -> R {
+        let _guard = FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = set_enabled(on);
+        let result = f();
+        set_enabled(prev);
+        result
+    }
 
     #[test]
     fn with_collector_isolates_and_captures() {
-        let ((), snap) = with_collector(|| {
-            counter_add("t.iso.events", 2);
-            counter_add("t.iso.events", 5);
-            gauge_max("t.iso.peak", 1.0);
-            gauge_max("t.iso.peak", 3.0);
-            gauge_max("t.iso.peak", 2.0);
-            histogram_record("t.iso.dist", 0.5);
-            histogram_record("t.iso.dist", 70.0);
-            topology_add("t.iso.topo", 4);
+        with_flag(true, || {
+            let ((), snap) = with_collector(|| {
+                counter_add("t.iso.events", 2);
+                counter_add("t.iso.events", 5);
+                gauge_max("t.iso.peak", 1.0);
+                gauge_max("t.iso.peak", 3.0);
+                gauge_max("t.iso.peak", 2.0);
+                histogram_record("t.iso.dist", 0.5);
+                histogram_record("t.iso.dist", 70.0);
+                topology_add("t.iso.topo", 4);
+            });
+            assert_eq!(snap.counters["t.iso.events"], 7);
+            assert_eq!(snap.gauges["t.iso.peak"], 3.0);
+            assert_eq!(snap.histograms["t.iso.dist"].count, 2);
+            assert_eq!(snap.topology["t.iso.topo"], 4);
+            // Nothing leaked into the global collector under these names.
+            let global = snapshot();
+            assert!(!global.counters.contains_key("t.iso.events"));
         });
-        assert_eq!(snap.counters["t.iso.events"], 7);
-        assert_eq!(snap.gauges["t.iso.peak"], 3.0);
-        assert_eq!(snap.histograms["t.iso.dist"].count, 2);
-        assert_eq!(snap.topology["t.iso.topo"], 4);
-        // Nothing leaked into the global collector under these names.
-        let global = snapshot();
-        assert!(!global.counters.contains_key("t.iso.events"));
     }
 
     #[test]
     fn nested_collectors_attribute_to_the_innermost() {
-        let ((), outer) = with_collector(|| {
-            counter_add("t.nest.outer", 1);
-            let ((), inner) = with_collector(|| counter_add("t.nest.inner", 1));
-            assert_eq!(inner.counters["t.nest.inner"], 1);
-            assert!(!inner.counters.contains_key("t.nest.outer"));
+        with_flag(true, || {
+            let ((), outer) = with_collector(|| {
+                counter_add("t.nest.outer", 1);
+                let ((), inner) = with_collector(|| counter_add("t.nest.inner", 1));
+                assert_eq!(inner.counters["t.nest.inner"], 1);
+                assert!(!inner.counters.contains_key("t.nest.outer"));
+            });
+            assert_eq!(outer.counters["t.nest.outer"], 1);
+            assert!(!outer.counters.contains_key("t.nest.inner"));
         });
-        assert_eq!(outer.counters["t.nest.outer"], 1);
-        assert!(!outer.counters.contains_key("t.nest.inner"));
     }
 
     #[test]
     fn disabled_recording_is_a_no_op() {
-        let prev = set_enabled(false);
-        let ((), snap) = with_collector(|| {
-            counter_add("t.off.events", 1);
-            gauge_max("t.off.gauge", 1.0);
-            histogram_record("t.off.dist", 1.0);
-            let _s = span("t.off.span");
+        with_flag(false, || {
+            let ((), snap) = with_collector(|| {
+                counter_add("t.off.events", 1);
+                gauge_max("t.off.gauge", 1.0);
+                histogram_record("t.off.dist", 1.0);
+                let _s = span("t.off.span");
+            });
+            assert!(snap.is_empty(), "{snap:?}");
         });
-        set_enabled(prev);
-        assert!(snap.is_empty(), "{snap:?}");
     }
 
     #[test]
     fn span_records_a_timer() {
-        let prev = set_enabled(true);
-        let ((), snap) = with_collector(|| {
-            let _s = span("t.span.work");
+        with_flag(true, || {
+            let ((), snap) = with_collector(|| {
+                let _s = span("t.span.work");
+            });
+            assert_eq!(snap.timers["t.span.work"].count, 1);
         });
-        set_enabled(prev);
-        assert_eq!(snap.timers["t.span.work"].count, 1);
     }
 
     #[test]
     fn context_propagates_to_spawned_threads_manually() {
         // What vmin-par does for every worker: capture the context before
         // spawning, enter it inside the worker.
-        let ((), snap) = with_collector(|| {
-            let ctx = current_context();
-            std::thread::scope(|s| {
-                for _ in 0..3 {
-                    let ctx = &ctx;
-                    s.spawn(move || {
-                        let _g = enter_context(ctx);
-                        counter_add("t.prop.worker_events", 1);
-                    });
-                }
+        with_flag(true, || {
+            let ((), snap) = with_collector(|| {
+                let ctx = current_context();
+                std::thread::scope(|s| {
+                    for _ in 0..3 {
+                        let ctx = &ctx;
+                        s.spawn(move || {
+                            let _g = enter_context(ctx);
+                            counter_add("t.prop.worker_events", 1);
+                        });
+                    }
+                });
             });
+            assert_eq!(snap.counters["t.prop.worker_events"], 3);
         });
-        assert_eq!(snap.counters["t.prop.worker_events"], 3);
     }
 
     #[test]
     fn non_finite_values_are_dropped() {
-        let ((), snap) = with_collector(|| {
-            gauge_max("t.fin.gauge", f64::NAN);
-            histogram_record("t.fin.dist", f64::INFINITY);
-            counter_add("t.fin.zero", 0);
+        with_flag(true, || {
+            let ((), snap) = with_collector(|| {
+                gauge_max("t.fin.gauge", f64::NAN);
+                histogram_record("t.fin.dist", f64::INFINITY);
+                counter_add("t.fin.zero", 0);
+            });
+            assert!(snap.is_empty(), "{snap:?}");
         });
-        assert!(snap.is_empty(), "{snap:?}");
     }
 }
