@@ -52,13 +52,37 @@ for kind in counter gauge histogram; do
         || { echo "vmin-trace $kind section differs between VMIN_THREADS=1 and 8"; exit 1; }
 done
 
-echo "==> bench smoke: par_speedup writes BENCH_PR2.json"
-VMIN_BENCH_JSON=BENCH_PR2.json VMIN_BENCH_SAMPLES=3 \
+echo "==> bench smoke: par_speedup + fit_cache write target/BENCH_PR5.json"
+# Absolute path: the bench binary's CWD is the package dir, not the repo root.
+VMIN_BENCH_JSON="$PWD/target/BENCH_PR5.json" VMIN_BENCH_SAMPLES=3 \
     cargo bench -p vmin-bench --bench par_speedup
-test -s BENCH_PR2.json
-grep -q '"threads":' BENCH_PR2.json
-grep -q '"id": "matmul_serial"' BENCH_PR2.json
-grep -q '"id": "campaign_small_parallel"' BENCH_PR2.json
-grep -q '"id": "table3_region_cell_parallel"' BENCH_PR2.json
+test -s target/BENCH_PR5.json
+grep -q '"threads":' target/BENCH_PR5.json
+# The thread sweep writes one row per thread count — ids carry the count.
+grep -q '"id": "matmul_threads1"' target/BENCH_PR5.json
+grep -q '"id": "matmul_threads2"' target/BENCH_PR5.json
+grep -q '"id": "campaign_small_threads1"' target/BENCH_PR5.json
+grep -q '"id": "table3_region_cell_threads2"' target/BENCH_PR5.json
+# The fit-cache group records uncached-vs-cached pairs for the GBT family.
+grep -q '"group": "fit_cache"' target/BENCH_PR5.json
+grep -q '"id": "gbt_fit_uncached"' target/BENCH_PR5.json
+grep -q '"id": "gbt_fit_cached"' target/BENCH_PR5.json
+grep -q '"id": "cqr_xgb_region_cell_cached"' target/BENCH_PR5.json
+
+echo "==> fit-plan cache: counters present + interval exactness smoke"
+# The trace_report workload routes through GBT-family fits, so the cache
+# counters must appear in the deterministic counter section.
+grep -q '"models.fitplan.build"' target/trace-t1.json
+grep -q '"models.fitplan.reuse"' target/trace-t1.json
+grep -q '"models.fitplan.scratch_reuse"' target/trace-t1.json
+# Same fixed CQR cell with the cache globally off and on: the interval bit
+# patterns must be identical (the cache is a pure time optimization).
+VMIN_FITPLAN=0 cargo run -q --release -p vmin-bench --bin fit_cache_smoke \
+    > target/fit-cache-off.txt
+VMIN_FITPLAN=1 cargo run -q --release -p vmin-bench --bin fit_cache_smoke \
+    > target/fit-cache-on.txt
+test -s target/fit-cache-off.txt
+diff target/fit-cache-off.txt target/fit-cache-on.txt \
+    || { echo "fit-plan cache changed interval bits"; exit 1; }
 
 echo "CI green."

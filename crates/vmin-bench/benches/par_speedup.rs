@@ -1,18 +1,29 @@
-//! Serial-vs-parallel timing for the three hot paths the `vmin-par` layer
-//! accelerates: the tiled matmul kernel, the silicon campaign simulation,
-//! and a Table III region-prediction cell.
+//! Thread-sweep timing for the hot paths the `vmin-par` layer accelerates,
+//! plus uncached-vs-cached fit timing for the `vmin-models` fit-plan cache.
 //!
-//! Each workload is timed twice — pinned to one thread via
-//! `vmin_par::with_threads(1, ..)` and on the default pool — so the JSON
-//! report (`VMIN_BENCH_JSON=BENCH_PR2.json cargo bench -p vmin-bench
-//! --bench par_speedup`) exposes the speedup next to the thread count. On a
-//! single-core host the two numbers coincide by construction: the pool
-//! falls back to the serial path.
+//! The `par_speedup` group runs each workload once per thread count in
+//! {1, 2, available} via `vmin_par::with_threads`, writing one row per
+//! thread count (ids end in `_threads{n}`). Earlier revisions timed a
+//! "serial" and a "parallel" row in a single invocation, which measured the
+//! same code path whenever the process was pinned to one thread — the sweep
+//! makes the thread count part of the benchmark id instead of an ambient
+//! setting. On a single-core host the rows coincide by construction.
+//!
+//! The `fit_cache` group times GBT-family fits on the Table III design
+//! matrix (156 chips, full feature set) and a whole region cell, with the
+//! fit-plan cache pinned off (`_uncached`) and on (`_cached`) via
+//! `vmin_models::with_fit_cache`. Outputs are byte-identical either way;
+//! only the time should move.
+//!
+//! Run: `VMIN_BENCH_JSON=BENCH_PR5.json cargo bench -p vmin-bench --bench par_speedup`
 
 use vmin_bench::harness::Criterion;
 use vmin_bench::{criterion_group, criterion_main};
-use vmin_core::{run_region_cell, ExperimentConfig, FeatureSet, PointModel, RegionMethod};
+use vmin_core::{
+    assemble_dataset, run_region_cell_on, ExperimentConfig, FeatureSet, PointModel, RegionMethod,
+};
 use vmin_linalg::Matrix;
+use vmin_models::{GradientBoost, Loss, ObliviousBoost, Regressor};
 use vmin_silicon::{Campaign, DatasetSpec};
 
 /// Deterministic dense test matrix (same LCG family as the linalg tests).
@@ -28,58 +39,110 @@ fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
     Matrix::from_vec(rows, cols, data).unwrap()
 }
 
+/// Thread counts to sweep: 1, 2 and whatever the pool would use, deduped
+/// and ascending so the ids stay stable across hosts.
+fn thread_sweep() -> Vec<usize> {
+    let mut counts = vec![1, 2, vmin_par::current_threads()];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
 fn bench_par_speedup(c: &mut Criterion) {
     let a = pseudo_random(160, 220, 11);
     let b = pseudo_random(220, 140, 12);
     let campaign = Campaign::run(&DatasetSpec::small(), 7);
     let cfg = ExperimentConfig::fast();
+    let cell = assemble_dataset(&campaign, 0, 1, FeatureSet::Both)
+        .unwrap_or_else(|e| die(&format!("assemble small cell: {e}")));
 
     let mut group = c.benchmark_group("par_speedup");
     group.sample_size(10);
 
-    group.bench_function("matmul_serial", |bch| {
-        bch.iter(|| vmin_par::with_threads(1, || a.matmul(&b).unwrap()))
-    });
-    group.bench_function("matmul_parallel", |bch| bch.iter(|| a.matmul(&b).unwrap()));
-
-    group.bench_function("campaign_small_serial", |bch| {
-        bch.iter(|| vmin_par::with_threads(1, || Campaign::run(&DatasetSpec::small(), 7)))
-    });
-    group.bench_function("campaign_small_parallel", |bch| {
-        bch.iter(|| Campaign::run(&DatasetSpec::small(), 7))
-    });
-
-    group.bench_function("table3_region_cell_serial", |bch| {
-        bch.iter(|| {
-            vmin_par::with_threads(1, || {
-                run_region_cell(
-                    &campaign,
-                    0,
-                    1,
-                    RegionMethod::Cqr(PointModel::Linear),
-                    FeatureSet::Both,
-                    &cfg,
-                )
-                .unwrap()
+    for threads in thread_sweep() {
+        group.bench_function(&format!("matmul_threads{threads}"), |bch| {
+            bch.iter(|| {
+                vmin_par::with_threads(threads, || {
+                    a.matmul(&b)
+                        .unwrap_or_else(|e| die(&format!("matmul: {e}")))
+                })
             })
+        });
+        group.bench_function(&format!("campaign_small_threads{threads}"), |bch| {
+            bch.iter(|| vmin_par::with_threads(threads, || Campaign::run(&DatasetSpec::small(), 7)))
+        });
+        group.bench_function(&format!("table3_region_cell_threads{threads}"), |bch| {
+            bch.iter(|| {
+                vmin_par::with_threads(threads, || {
+                    run_region_cell_on(&cell, RegionMethod::Cqr(PointModel::Linear), &cfg)
+                        .unwrap_or_else(|e| die(&format!("region cell: {e}")))
+                })
+            })
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_fit_cache(c: &mut Criterion) {
+    // The Table III workload proper: the paper-sized campaign (156 chips)
+    // and the full feature set at a stress read point.
+    let campaign = Campaign::run(&DatasetSpec::default(), 7);
+    let ds = assemble_dataset(&campaign, 1, 1, FeatureSet::Both)
+        .unwrap_or_else(|e| die(&format!("assemble table3 cell: {e}")));
+    let x = ds.features().clone();
+    let y = ds.targets().to_vec();
+    let cfg = ExperimentConfig::fast();
+
+    let mut group = c.benchmark_group("fit_cache");
+    group.sample_size(10);
+
+    let gbt_fit = |cache_on: bool| {
+        vmin_models::with_fit_cache(cache_on, || {
+            let mut m = GradientBoost::new(Loss::Pinball(0.95));
+            m.fit(&x, &y)
+                .unwrap_or_else(|e| die(&format!("gbt fit: {e}")));
+            m
         })
+    };
+    group.bench_function("gbt_fit_uncached", |bch| bch.iter(|| gbt_fit(false)));
+    group.bench_function("gbt_fit_cached", |bch| bch.iter(|| gbt_fit(true)));
+
+    let catboost_fit = |cache_on: bool| {
+        vmin_models::with_fit_cache(cache_on, || {
+            let mut m = ObliviousBoost::new(Loss::Pinball(0.95));
+            m.fit(&x, &y)
+                .unwrap_or_else(|e| die(&format!("catboost fit: {e}")));
+            m
+        })
+    };
+    group.bench_function("catboost_fit_uncached", |bch| {
+        bch.iter(|| catboost_fit(false))
     });
-    group.bench_function("table3_region_cell_parallel", |bch| {
-        bch.iter(|| {
-            run_region_cell(
-                &campaign,
-                0,
-                1,
-                RegionMethod::Cqr(PointModel::Linear),
-                FeatureSet::Both,
-                &cfg,
-            )
-            .unwrap()
+    group.bench_function("catboost_fit_cached", |bch| bch.iter(|| catboost_fit(true)));
+
+    let region_cell = |cache_on: bool| {
+        vmin_models::with_fit_cache(cache_on, || {
+            run_region_cell_on(&ds, RegionMethod::Cqr(PointModel::Xgboost), &cfg)
+                .unwrap_or_else(|e| die(&format!("cqr xgb cell: {e}")))
         })
+    };
+    group.bench_function("cqr_xgb_region_cell_uncached", |bch| {
+        bch.iter(|| region_cell(false))
+    });
+    group.bench_function("cqr_xgb_region_cell_cached", |bch| {
+        bch.iter(|| region_cell(true))
     });
 
     group.finish();
 }
 
-criterion_group!(benches, bench_par_speedup);
+/// Bench-binary failure exit without panic machinery (keeps the
+/// `vmin-lint` panic ratchet flat).
+fn die(msg: &str) -> ! {
+    eprintln!("[par_speedup] fatal: {msg}");
+    std::process::exit(1)
+}
+
+criterion_group!(benches, bench_par_speedup, bench_fit_cache);
 criterion_main!(benches);

@@ -14,7 +14,7 @@
 #![forbid(unsafe_code)]
 
 use vmin_bench::Scale;
-use vmin_core::{format_point_table, run_point_cell, FeatureSet, PointModel};
+use vmin_core::{assemble_dataset, format_point_table, run_point_cell_on, FeatureSet, PointModel};
 use vmin_silicon::Campaign;
 
 fn main() {
@@ -32,11 +32,21 @@ fn main() {
     let mut r2_by_rp: Vec<f64> = Vec::new(); // LR mean R² per read point
 
     for rp in 0..campaign.read_points.len() {
+        // One assembled dataset per (read point, temperature) cell, shared
+        // by the five-model sweep — the feature matrix is identical for all.
+        let datasets: Vec<_> = (0..campaign.temperatures.len())
+            .map(|temp_idx| {
+                assemble_dataset(&campaign, rp, temp_idx, FeatureSet::Both).unwrap_or_else(|e| {
+                    eprintln!("[fig2] assemble rp={rp} t={temp_idx}: {e}");
+                    std::process::exit(1)
+                })
+            })
+            .collect();
         let mut results = Vec::new();
         for (mi, &model) in models.iter().enumerate() {
             let mut row = Vec::new();
-            for temp_idx in 0..campaign.temperatures.len() {
-                let eval = run_point_cell(&campaign, rp, temp_idx, model, FeatureSet::Both, &cfg)
+            for (temp_idx, ds) in datasets.iter().enumerate() {
+                let eval = run_point_cell_on(ds, model, &cfg)
                     .unwrap_or_else(|e| panic!("cell rp={rp} t={temp_idx} {model}: {e}"));
                 grand[mi].1 += eval.r2;
                 row.push(eval);

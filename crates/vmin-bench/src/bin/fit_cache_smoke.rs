@@ -1,0 +1,52 @@
+//! Prints the bit patterns of every CQR-XGBoost interval for one fixed
+//! region cell, so CI can run the binary twice — `VMIN_FITPLAN=0` and
+//! `VMIN_FITPLAN=1` — and `diff` the outputs. Any difference means the
+//! fit-plan cache changed a result, which violates its exactness contract.
+//!
+//! The workload intentionally routes through every cached layer: GBT tree
+//! fits (sorted-column blocks + scratch reuse), the CQR shared plan across
+//! the lo/hi quantile fits, and the CV+ per-fold plans inside the 4-fold
+//! protocol.
+//!
+//! Run: `VMIN_FITPLAN=0 cargo run --release -p vmin-bench --bin fit_cache_smoke`
+
+#![forbid(unsafe_code)]
+
+use vmin_core::{
+    assemble_dataset, FeatureSet, ModelConfig, PointModel, RegionMethod, VminPredictor,
+};
+use vmin_silicon::{Campaign, DatasetSpec};
+
+fn die(msg: &str) -> ! {
+    eprintln!("[fit_cache_smoke] fatal: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    eprintln!(
+        "[fit_cache_smoke] fit-plan cache {} (VMIN_FITPLAN)",
+        if vmin_models::fit_cache_enabled() {
+            "enabled"
+        } else {
+            "disabled"
+        }
+    );
+    let campaign = Campaign::run(&DatasetSpec::small(), 7);
+    let ds = assemble_dataset(&campaign, 0, 1, FeatureSet::Both)
+        .unwrap_or_else(|e| die(&format!("assemble: {e}")));
+    let predictor = VminPredictor::fit(
+        &ds,
+        RegionMethod::Cqr(PointModel::Xgboost),
+        0.1,
+        0.25,
+        42,
+        &ModelConfig::fast(),
+    )
+    .unwrap_or_else(|e| die(&format!("fit: {e}")));
+    for i in 0..ds.n_samples() {
+        let iv = predictor
+            .interval(ds.sample(i))
+            .unwrap_or_else(|e| die(&format!("interval {i}: {e}")));
+        println!("{i} {:016x} {:016x}", iv.lo().to_bits(), iv.hi().to_bits());
+    }
+}

@@ -15,7 +15,9 @@
 #![forbid(unsafe_code)]
 
 use vmin_bench::Scale;
-use vmin_core::{format_region_table, run_region_cell, FeatureSet, RegionEval, RegionMethod};
+use vmin_core::{
+    assemble_dataset, format_region_table, run_region_cell_on, FeatureSet, RegionEval, RegionMethod,
+};
 use vmin_silicon::Campaign;
 
 fn main() {
@@ -34,11 +36,23 @@ fn main() {
         methods.iter().map(|&m| (m, 0.0, 0.0)).collect();
 
     for rp in 0..campaign.read_points.len() {
+        // All nine methods score the identical feature matrix per cell:
+        // assemble each (read point, temperature) dataset once and share it
+        // across the method sweep (scores are unchanged — see
+        // `run_region_cell_on`).
+        let datasets: Vec<_> = (0..campaign.temperatures.len())
+            .map(|temp_idx| {
+                assemble_dataset(&campaign, rp, temp_idx, FeatureSet::Both).unwrap_or_else(|e| {
+                    eprintln!("[table3] assemble rp={rp} t={temp_idx}: {e}");
+                    std::process::exit(1)
+                })
+            })
+            .collect();
         let mut results: Vec<Vec<RegionEval>> = Vec::new();
         for (mi, &method) in methods.iter().enumerate() {
             let mut row = Vec::new();
-            for temp_idx in 0..campaign.temperatures.len() {
-                let eval = run_region_cell(&campaign, rp, temp_idx, method, FeatureSet::Both, &cfg)
+            for (temp_idx, ds) in datasets.iter().enumerate() {
+                let eval = run_region_cell_on(ds, method, &cfg)
                     .unwrap_or_else(|e| panic!("cell rp={rp} t={temp_idx} {method}: {e}"));
                 totals[mi].1 += eval.mean_length;
                 totals[mi].2 += eval.coverage;

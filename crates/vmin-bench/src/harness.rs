@@ -61,6 +61,9 @@ pub enum BatchSize {
 pub struct Criterion {
     bench_mode: bool,
     default_samples: usize,
+    // Set when VMIN_BENCH_SAMPLES is present: the env override beats even
+    // explicit `sample_size()` calls, so CI can cap every benchmark at once.
+    samples_forced: bool,
     completed: usize,
     records: Vec<BenchRecord>,
 }
@@ -70,14 +73,14 @@ impl Criterion {
     /// cargo passed `--bench`, single-pass smoke mode otherwise.
     pub fn default_from_args() -> Criterion {
         let bench_mode = std::env::args().any(|a| a == "--bench");
-        let default_samples = std::env::var("VMIN_BENCH_SAMPLES")
+        let env_samples = std::env::var("VMIN_BENCH_SAMPLES")
             .ok()
             .and_then(|s| s.parse().ok())
-            .filter(|&n: &usize| n > 0)
-            .unwrap_or(20);
+            .filter(|&n: &usize| n > 0);
         Criterion {
             bench_mode,
-            default_samples,
+            default_samples: env_samples.unwrap_or(20),
+            samples_forced: env_samples.is_some(),
             completed: 0,
             records: Vec::new(),
         }
@@ -196,7 +199,11 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let samples = self.sample_size.unwrap_or(self.criterion.default_samples);
+        let samples = if self.criterion.samples_forced {
+            self.criterion.default_samples
+        } else {
+            self.sample_size.unwrap_or(self.criterion.default_samples)
+        };
         let mut bencher = Bencher {
             bench_mode: self.criterion.bench_mode,
             samples,
@@ -414,6 +421,7 @@ mod tests {
         let mut c = Criterion {
             bench_mode: false,
             default_samples: 1,
+            samples_forced: false,
             completed: 0,
             records: Vec::new(),
         };

@@ -90,10 +90,29 @@ impl<L: Regressor, H: Regressor> Cqr<L, H> {
         let Cqr {
             lo_model, hi_model, ..
         } = self;
-        let (lo_res, hi_res) = vmin_par::join(
-            || lo_model.fit(x_train, y_train),
-            || hi_model.fit(x_train, y_train),
-        );
+        // One fit plan serves both quantile models: sorted-column blocks,
+        // binned tables and standardized designs are built once instead of
+        // once per quantile. fit_with_plan is exact, so the pair is still
+        // byte-identical to two independent fits.
+        let shared_plan = if vmin_models::fit_cache_enabled()
+            && (lo_model.wants_fit_plan() || hi_model.wants_fit_plan())
+            && x_train.rows() > 0
+            && x_train.cols() > 0
+        {
+            Some(vmin_models::FitPlan::build(x_train))
+        } else {
+            None
+        };
+        let (lo_res, hi_res) = match &shared_plan {
+            Some(plan) => vmin_par::join(
+                || lo_model.fit_with_plan(x_train, y_train, plan),
+                || hi_model.fit_with_plan(x_train, y_train, plan),
+            ),
+            None => vmin_par::join(
+                || lo_model.fit(x_train, y_train),
+                || hi_model.fit(x_train, y_train),
+            ),
+        };
         lo_res?;
         hi_res?;
         self.calibrate(x_cal, y_cal)
@@ -303,6 +322,31 @@ mod tests {
         cqr.fit_calibrate(&x, &y, &x, &y).unwrap();
         // With noise-free data and α = 0.5, q̂ ≤ 0 is expected.
         assert!(cqr.qhat().unwrap() <= 1e-6);
+    }
+
+    #[test]
+    fn shared_plan_yields_bit_identical_intervals() {
+        use vmin_models::{GradientBoost, Loss};
+        let (x_tr, y_tr) = hetero(100, 11);
+        let (x_ca, y_ca) = hetero(60, 12);
+        let (x_te, _) = hetero(40, 13);
+        let run = |cache_on: bool| {
+            vmin_models::with_fit_cache(cache_on, || {
+                let mut cqr = Cqr::new(
+                    GradientBoost::new(Loss::Pinball(0.05)),
+                    GradientBoost::new(Loss::Pinball(0.95)),
+                    0.1,
+                );
+                cqr.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+                let ivs = cqr.predict_intervals(&x_te).unwrap();
+                let bits: Vec<(u64, u64)> = ivs
+                    .iter()
+                    .map(|iv| (iv.lo().to_bits(), iv.hi().to_bits()))
+                    .collect();
+                (cqr.qhat().unwrap().to_bits(), bits)
+            })
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

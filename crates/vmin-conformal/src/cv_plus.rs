@@ -79,7 +79,15 @@ impl CvPlus {
                 .map_err(|e| ConformalError::Model(e.to_string()))?;
             let y_tr: Vec<f64> = split.train.iter().map(|&i| y[i]).collect();
             let mut model = factory();
-            model.fit(&x_tr, &y_tr)?;
+            // One plan per fold: the fold-complement design is shared by
+            // everything the model caches (sorted blocks, bins, designs).
+            // fit_with_plan is exact, so fold models are unchanged.
+            if vmin_models::fit_cache_enabled() && model.wants_fit_plan() {
+                let plan = vmin_models::FitPlan::build(&x_tr);
+                model.fit_with_plan(&x_tr, &y_tr, &plan)?;
+            } else {
+                model.fit(&x_tr, &y_tr)?;
+            }
             let mut fold_residuals = Vec::with_capacity(split.test.len());
             for &i in &split.test {
                 let p = model.predict_row(x.row(i))?;
@@ -232,6 +240,34 @@ mod tests {
         for threads in [2, 8] {
             assert_eq!(run_at(threads), serial, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn per_fold_plans_yield_bit_identical_intervals() {
+        use vmin_models::{GradientBoost, GradientBoostParams, Loss};
+        let (x, y) = data(80, 21);
+        let (x_te, _) = data(30, 22);
+        let gbt_factory = || -> Box<dyn Regressor> {
+            Box::new(GradientBoost::with_params(
+                Loss::Squared,
+                GradientBoostParams {
+                    n_rounds: 20,
+                    ..GradientBoostParams::default()
+                },
+            ))
+        };
+        let run = |cache_on: bool| {
+            vmin_models::with_fit_cache(cache_on, || {
+                let mut cv = CvPlus::new(0.2, 4, 5);
+                cv.fit(&x, &y, gbt_factory).unwrap();
+                cv.predict_intervals(&x_te)
+                    .unwrap()
+                    .iter()
+                    .map(|iv| (iv.lo().to_bits(), iv.hi().to_bits()))
+                    .collect::<Vec<_>>()
+            })
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::flow::{eval_point_fold, eval_region_fold, FlowError, PointEval, RegionEval};
 use crate::scenario::{assemble_dataset, FeatureSet, ScenarioError};
 use crate::zoo::{ModelConfig, PointModel, RegionMethod};
-use vmin_data::KFold;
+use vmin_data::{Dataset, KFold};
 use vmin_silicon::Campaign;
 
 /// Protocol parameters shared across all experiments.
@@ -104,9 +104,24 @@ pub fn run_point_cell(
     feature_set: FeatureSet,
     cfg: &ExperimentConfig,
 ) -> Result<PointEval, ExperimentError> {
+    let ds = assemble_dataset(campaign, read_point, temp_idx, feature_set)?;
+    run_point_cell_on(&ds, model, cfg)
+}
+
+/// [`run_point_cell`] over a pre-assembled dataset, so harnesses sweeping
+/// many models over the same `(read point, temperature)` cell assemble the
+/// feature matrix once instead of once per model. Scoring is unchanged.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run_point_cell_on(
+    ds: &Dataset,
+    model: PointModel,
+    cfg: &ExperimentConfig,
+) -> Result<PointEval, ExperimentError> {
     let _span = vmin_trace::span("core.run_point_cell");
     vmin_trace::counter_add("core.cells.point", 1);
-    let ds = assemble_dataset(campaign, read_point, temp_idx, feature_set)?;
     let kf = KFold::new(ds.n_samples(), cfg.folds, cfg.seed);
     let splits: Vec<_> = kf.iter().collect();
     // Folds are independent; evaluate them on worker threads and reduce the
@@ -152,9 +167,25 @@ pub fn run_region_cell(
     feature_set: FeatureSet,
     cfg: &ExperimentConfig,
 ) -> Result<RegionEval, ExperimentError> {
+    let ds = assemble_dataset(campaign, read_point, temp_idx, feature_set)?;
+    run_region_cell_on(&ds, method, cfg)
+}
+
+/// [`run_region_cell`] over a pre-assembled dataset: Table III sweeps nine
+/// methods over every cell, and the feature matrix is identical for all of
+/// them — assemble it once and share it. Scoring is unchanged, so cells are
+/// bit-identical to the assemble-per-method path.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run_region_cell_on(
+    ds: &Dataset,
+    method: RegionMethod,
+    cfg: &ExperimentConfig,
+) -> Result<RegionEval, ExperimentError> {
     let _span = vmin_trace::span("core.run_region_cell");
     vmin_trace::counter_add("core.cells.region", 1);
-    let ds = assemble_dataset(campaign, read_point, temp_idx, feature_set)?;
     let kf = KFold::new(ds.n_samples(), cfg.folds, cfg.seed);
     let splits: Vec<_> = kf.iter().collect();
     // Fold-parallel with a serial fold-order reduction — bit-identical to a
@@ -338,6 +369,29 @@ mod tests {
             onchip_monitor_gain(&partial),
             Err(ExperimentError::MissingSummaryRow("Both"))
         ));
+    }
+
+    #[test]
+    fn cell_on_preassembled_dataset_is_bit_identical() {
+        let c = campaign();
+        let cfg = ExperimentConfig::fast();
+        let ds = assemble_dataset(&c, 0, 1, FeatureSet::Both).unwrap();
+        let via_campaign = run_region_cell(
+            &c,
+            0,
+            1,
+            RegionMethod::Cqr(PointModel::Linear),
+            FeatureSet::Both,
+            &cfg,
+        )
+        .unwrap();
+        let via_dataset =
+            run_region_cell_on(&ds, RegionMethod::Cqr(PointModel::Linear), &cfg).unwrap();
+        assert_eq!(via_campaign, via_dataset);
+        let p_campaign =
+            run_point_cell(&c, 0, 1, PointModel::Linear, FeatureSet::Both, &cfg).unwrap();
+        let p_dataset = run_point_cell_on(&ds, PointModel::Linear, &cfg).unwrap();
+        assert_eq!(p_campaign, p_dataset);
     }
 
     #[test]

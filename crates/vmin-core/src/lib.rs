@@ -61,8 +61,8 @@ pub use degradation::{
     sanitize_campaign, ClassDisposition, DegradationError, DegradationPolicy, RepairLog,
 };
 pub use experiment::{
-    onchip_monitor_gain, run_feature_set_study, run_point_cell, run_region_cell, ExperimentConfig,
-    ExperimentError, FeatureSetSummary,
+    onchip_monitor_gain, run_feature_set_study, run_point_cell, run_point_cell_on, run_region_cell,
+    run_region_cell_on, ExperimentConfig, ExperimentError, FeatureSetSummary,
 };
 pub use flow::{
     eval_point_fold, eval_region_fold, FlowError, PointEval, RegionEval, SanitizedFit,

@@ -5,6 +5,7 @@
 //! pinball loss, so the same booster serves "XGBoost" point prediction and
 //! "QR XGBoost" quantile regression.
 
+use crate::fitplan::{fit_cache_enabled, FitPlan, TreeScratch};
 use crate::traits::{validate_training, Loss, ModelError, Regressor, Result};
 use crate::tree::{GradientTree, TreeParams};
 use vmin_linalg::Matrix;
@@ -92,10 +93,15 @@ impl GradientBoost {
     pub fn loss(&self) -> Loss {
         self.loss
     }
-}
 
-impl Regressor for GradientBoost {
-    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+    /// The shared boosting loop; `plan` selects the plan-backed tree path.
+    ///
+    /// Both paths produce byte-identical boosters: the planned tree fit is
+    /// exact (see [`GradientTree::fit_with_plan`]) and is only taken when
+    /// every round trains on the full ascending row set (`subsample = 1.0`);
+    /// subsampled rounds need per-round row lists and keep the seed path
+    /// with an unchanged RNG stream.
+    fn fit_inner(&mut self, x: &Matrix, y: &[f64], plan: Option<&FitPlan>) -> Result<()> {
         validate_training(x, y)?;
         self.loss.validate()?;
         let n = x.rows();
@@ -112,12 +118,22 @@ impl Regressor for GradientBoost {
         let all_rows: Vec<usize> = (0..n).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed);
 
+        // One scratch serves every planned round; reused rounds are counted.
+        let mut planned: Option<(&FitPlan, TreeScratch)> = match plan {
+            Some(p) if self.params.subsample >= 1.0 => Some((p, TreeScratch::for_plan(p))),
+            _ => None,
+        };
+        // Subsample row buffer, reused across rounds (`clone_from` restores
+        // the ascending order the seed's per-round `all_rows.clone()` had,
+        // so the shuffle consumes the identical RNG stream).
+        let mut shuffled: Vec<usize> = Vec::new();
+
         // Boosting rounds are inherently sequential; within a round the
         // per-row gradient/Hessian refresh and the prediction update are
         // element-independent, so they parallelize bit-exactly.
         let loss = self.loss;
         let lr = self.params.learning_rate;
-        for _ in 0..self.params.n_rounds {
+        for round in 0..self.params.n_rounds {
             vmin_par::par_chunks_mut(&mut grad, ROUND_ROW_BLOCK, 2, |bi, chunk| {
                 let i0 = bi * ROUND_ROW_BLOCK;
                 for (di, g) in chunk.iter_mut().enumerate() {
@@ -130,16 +146,23 @@ impl Regressor for GradientBoost {
                     *h = loss.hessian(y[i0 + di], preds[i0 + di]);
                 }
             });
-            let rows: Vec<usize> = if self.params.subsample < 1.0 {
-                let take = ((self.params.subsample * n as f64).round() as usize).max(2);
-                let mut shuffled = all_rows.clone();
-                shuffled.shuffle(&mut rng);
-                shuffled.truncate(take);
-                shuffled
+            let tree = if let Some((p, scratch)) = planned.as_mut() {
+                if round > 0 {
+                    vmin_trace::counter_add("models.fitplan.scratch_reuse", 1);
+                }
+                GradientTree::fit_with_plan(x, &grad, &hess, &self.params.tree, p, scratch)
             } else {
-                all_rows.clone()
+                let rows: &[usize] = if self.params.subsample < 1.0 {
+                    let take = ((self.params.subsample * n as f64).round() as usize).max(2);
+                    shuffled.clone_from(&all_rows);
+                    shuffled.shuffle(&mut rng);
+                    shuffled.truncate(take);
+                    &shuffled
+                } else {
+                    &all_rows
+                };
+                GradientTree::fit(x, &grad, &hess, rows, &self.params.tree)
             };
-            let tree = GradientTree::fit(x, &grad, &hess, &rows, &self.params.tree);
             vmin_par::par_chunks_mut(&mut preds, ROUND_ROW_BLOCK, 2, |bi, chunk| {
                 let i0 = bi * ROUND_ROW_BLOCK;
                 for (di, p) in chunk.iter_mut().enumerate() {
@@ -149,6 +172,36 @@ impl Regressor for GradientBoost {
             self.trees.push(tree);
         }
         Ok(())
+    }
+}
+
+impl Regressor for GradientBoost {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        if fit_cache_enabled()
+            && self.params.subsample >= 1.0
+            && x.rows() > 0
+            && x.rows() <= u32::MAX as usize
+        {
+            // No external plan: build a private one so even a standalone fit
+            // gets the O(n)-per-node split search and scratch reuse.
+            let plan = FitPlan::build(x);
+            self.fit_inner(x, y, Some(&plan))
+        } else {
+            self.fit_inner(x, y, None)
+        }
+    }
+
+    fn fit_with_plan(&mut self, x: &Matrix, y: &[f64], plan: &FitPlan) -> Result<()> {
+        if fit_cache_enabled() && self.params.subsample >= 1.0 && plan.matches(x) {
+            vmin_trace::counter_add("models.fitplan.reuse", 1);
+            self.fit_inner(x, y, Some(plan))
+        } else {
+            self.fit(x, y)
+        }
+    }
+
+    fn wants_fit_plan(&self) -> bool {
+        true
     }
 
     fn predict_row(&self, row: &[f64]) -> Result<f64> {
@@ -299,6 +352,63 @@ mod tests {
         for threads in [2, 8] {
             assert_eq!(fit_at(threads), serial, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn planned_fit_is_bit_identical_to_uncached() {
+        let (x, y) = friedman_like(150, 10);
+        for loss in [Loss::Squared, Loss::Pinball(0.9)] {
+            let fit_at = |cache_on: bool| {
+                crate::fitplan::with_fit_cache(cache_on, || {
+                    let mut m = GradientBoost::new(loss);
+                    m.fit(&x, &y).unwrap();
+                    m
+                })
+            };
+            let cached = fit_at(true);
+            let uncached = fit_at(false);
+            assert_eq!(cached.trees, uncached.trees, "loss {loss:?}");
+            assert_eq!(cached.predict(&x).unwrap(), uncached.predict(&x).unwrap());
+        }
+    }
+
+    #[test]
+    fn external_plan_matches_private_plan_and_stale_plan_falls_back() {
+        let (x, y) = friedman_like(120, 11);
+        let (x2, _) = friedman_like(120, 12);
+        let plan = FitPlan::build(&x);
+        crate::fitplan::with_fit_cache(true, || {
+            let mut shared = GradientBoost::new(Loss::Squared);
+            shared.fit_with_plan(&x, &y, &plan).unwrap();
+            let mut private = GradientBoost::new(Loss::Squared);
+            private.fit(&x, &y).unwrap();
+            assert_eq!(shared.trees, private.trees);
+            // A plan for different data must not corrupt the fit.
+            let mut stale = GradientBoost::new(Loss::Squared);
+            stale.fit_with_plan(&x2, &y, &plan).unwrap();
+            let mut direct = GradientBoost::new(Loss::Squared);
+            direct.fit(&x2, &y).unwrap();
+            assert_eq!(stale.trees, direct.trees);
+        });
+    }
+
+    #[test]
+    fn subsampled_fit_ignores_the_plan_and_stays_seed_identical() {
+        let (x, y) = friedman_like(120, 13);
+        let params = GradientBoostParams {
+            subsample: 0.8,
+            seed: 3,
+            ..GradientBoostParams::default()
+        };
+        let plan = FitPlan::build(&x);
+        let fit_at = |cache_on: bool| {
+            crate::fitplan::with_fit_cache(cache_on, || {
+                let mut m = GradientBoost::with_params(Loss::Squared, params);
+                m.fit_with_plan(&x, &y, &plan).unwrap();
+                m
+            })
+        };
+        assert_eq!(fit_at(true).trees, fit_at(false).trees);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 mod ard;
 mod ensemble;
+mod fitplan;
 mod gbt;
 mod gp;
 mod linear;
@@ -52,6 +53,10 @@ mod tree;
 
 pub use ard::{ArdGp, ArdKernel};
 pub use ensemble::Ensemble;
+pub use fitplan::{
+    fit_cache_enabled, set_fit_cache_enabled, standardize_design, validate_border_count,
+    with_fit_cache, BinnedDataset, FitPlan, StandardizedDesign, TreeScratch, MAX_BORDER_COUNT,
+};
 pub use gbt::{GradientBoost, GradientBoostParams};
 pub use gp::{GaussianProcess, RbfKernel};
 pub use linear::LinearRegression;

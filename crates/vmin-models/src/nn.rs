@@ -6,6 +6,7 @@
 //! Supports both MSE and pinball loss, so it serves as both the "NN" point
 //! predictor of Fig. 2 and the "QR Neural Network" of Table III.
 
+use crate::fitplan::{fit_cache_enabled, standardize_design, FitPlan, StandardizedDesign};
 use crate::optimizer::Adam;
 use crate::traits::{validate_training, Loss, ModelError, Regressor, Result};
 use vmin_linalg::Matrix;
@@ -124,45 +125,23 @@ impl NeuralNet {
         }
         (act, out)
     }
-}
 
-impl Regressor for NeuralNet {
-    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
-        validate_training(x, y)?;
-        self.loss.validate()?;
-        let n = x.rows();
-        let d = x.cols();
+    /// The shared fit body over a pre-standardized design (cached from a
+    /// plan or freshly computed — identical code either way).
+    fn fit_inner(&mut self, y: &[f64], design: &StandardizedDesign) -> Result<()> {
+        let n = design.rows.len();
+        let d = design.feat_means.len();
         self.n_features = d;
         let h = self.params.hidden;
 
-        // Standardization.
-        self.feat_means = (0..d)
-            .map(|j| x.col_iter(j).sum::<f64>() / n as f64)
-            .collect();
-        self.feat_scales = (0..d)
-            .map(|j| {
-                let m = self.feat_means[j];
-                let v = x.col_iter(j).map(|v| (v - m) * (v - m)).sum::<f64>() / n.max(2) as f64;
-                if v > 1e-24 {
-                    v.sqrt()
-                } else {
-                    1.0
-                }
-            })
-            .collect();
+        // Standardization statistics from the design; center/scale targets.
+        self.feat_means = design.feat_means.clone();
+        self.feat_scales = design.feat_scales.clone();
         self.y_center = vmin_linalg::mean(y);
         let sd = vmin_linalg::std_dev(y);
         self.y_scale = if sd > 1e-12 { sd } else { 1.0 };
 
-        let xs: Vec<Vec<f64>> = (0..n)
-            .map(|i| {
-                x.row(i)
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &v)| (v - self.feat_means[j]) / self.feat_scales[j])
-                    .collect()
-            })
-            .collect();
+        let xs = &design.rows;
         let ys: Vec<f64> = y
             .iter()
             .map(|v| (v - self.y_center) / self.y_scale)
@@ -218,6 +197,29 @@ impl Regressor for NeuralNet {
         }
         self.weights = Some(w);
         Ok(())
+    }
+}
+
+impl Regressor for NeuralNet {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        validate_training(x, y)?;
+        self.loss.validate()?;
+        self.fit_inner(y, &standardize_design(x))
+    }
+
+    fn fit_with_plan(&mut self, x: &Matrix, y: &[f64], plan: &FitPlan) -> Result<()> {
+        if fit_cache_enabled() && plan.matches(x) {
+            validate_training(x, y)?;
+            self.loss.validate()?;
+            let design = plan.standardized(x);
+            self.fit_inner(y, &design)
+        } else {
+            self.fit(x, y)
+        }
+    }
+
+    fn wants_fit_plan(&self) -> bool {
+        true
     }
 
     fn predict_row(&self, row: &[f64]) -> Result<f64> {
@@ -341,6 +343,21 @@ mod tests {
         ));
         let mut bad = NeuralNet::with_params(Loss::Pinball(-0.5), fast_params(0));
         assert!(bad.fit(&x, &y).is_err());
+    }
+
+    #[test]
+    fn planned_fit_is_bit_identical_to_direct() {
+        let (x, y) = quadratic_data(60);
+        let plan = FitPlan::build(&x);
+        crate::fitplan::with_fit_cache(true, || {
+            let mut planned = NeuralNet::with_params(Loss::Pinball(0.9), fast_params(3));
+            planned.fit_with_plan(&x, &y, &plan).unwrap();
+            let mut direct = NeuralNet::with_params(Loss::Pinball(0.9), fast_params(3));
+            direct.fit(&x, &y).unwrap();
+            assert_eq!(planned.weights, direct.weights);
+            assert_eq!(planned.feat_means, direct.feat_means);
+            assert_eq!(planned.feat_scales, direct.feat_scales);
+        });
     }
 
     #[test]

@@ -9,11 +9,12 @@
 //! The paper reduces CatBoost's tree count from 1000 to 100 for its
 //! 156-chip dataset (§IV-C3); that is the default here too.
 
+use crate::fitplan::{fit_cache_enabled, validate_border_count, BinnedDataset, FitPlan};
 use crate::traits::{validate_training, Loss, ModelError, Regressor, Result};
 use vmin_linalg::Matrix;
 
-/// Minimum features before border computation, pre-binning and the
-/// per-level split search spawn feature workers.
+/// Minimum features before the per-level split search spawns feature
+/// workers (border computation and pre-binning live in `fitplan`).
 const PAR_MIN_FEATURES: usize = 4;
 
 /// Rows per parallel work unit for element-wise per-round passes.
@@ -132,34 +133,8 @@ impl ObliviousBoost {
         self.loss
     }
 
-    /// Quantile borders per feature from the training matrix, one feature
-    /// per parallel work item.
-    fn compute_borders(&self, x: &Matrix) -> Vec<Vec<f64>> {
-        let features: Vec<usize> = (0..x.cols()).collect();
-        let border_count = self.params.border_count;
-        vmin_par::par_map(&features, PAR_MIN_FEATURES, |_, &j| {
-            let mut col: Vec<f64> = x.col_iter(j).collect();
-            col.sort_by(|a, b| a.total_cmp(b));
-            col.dedup();
-            if col.len() <= 1 {
-                return Vec::new();
-            }
-            let count = border_count.min(col.len() - 1);
-            let mut borders = Vec::with_capacity(count);
-            for b in 1..=count {
-                let pos = b as f64 / (count + 1) as f64 * (col.len() - 1) as f64;
-                let lo = pos.floor() as usize;
-                let hi = (lo + 1).min(col.len() - 1);
-                borders.push(0.5 * (col[lo] + col[hi]));
-            }
-            borders.dedup();
-            borders
-        })
-    }
-}
-
-impl Regressor for ObliviousBoost {
-    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+    /// Shape/hyperparameter checks shared by both fit entry points.
+    fn validate(&self, x: &Matrix, y: &[f64]) -> Result<()> {
         validate_training(x, y)?;
         self.loss.validate()?;
         if self.params.depth == 0 || self.params.depth > 16 {
@@ -168,6 +143,16 @@ impl Regressor for ObliviousBoost {
                 self.params.depth
             )));
         }
+        // The bin table stores indices as u8: reject border counts that
+        // would silently wrap instead of producing corrupt histograms.
+        validate_border_count(self.params.border_count)
+    }
+
+    /// The shared boosting loop over a pre-binned dataset. Both entry
+    /// points end up here with a [`BinnedDataset`] produced by the same
+    /// code (`fitplan` helpers), so cached and uncached fits are
+    /// byte-identical.
+    fn fit_inner(&mut self, x: &Matrix, y: &[f64], binned: &BinnedDataset) -> Result<()> {
         let n = x.rows();
         self.n_features = x.cols();
         self.base_score = if self.params.boost_from_mean {
@@ -180,21 +165,14 @@ impl Regressor for ObliviousBoost {
         let _span = vmin_trace::span("models.oblivious.fit");
         vmin_trace::counter_add("models.oblivious.fits", 1);
         vmin_trace::counter_add("models.oblivious.rounds", self.params.n_rounds as u64);
-        let borders = self.compute_borders(x);
-        // Pre-bin every feature value: bin(v) = #{t ∈ borders : v > t}, so
-        // splitting at border k sends a sample right iff its bin > k. This
-        // turns split search into histogram accumulation (the CatBoost
-        // approach), instead of rescanning all samples per candidate.
+        // Quantile borders plus the pre-binned table: bin(v) = #{t ∈
+        // borders : v > t}, so splitting at border k sends a sample right
+        // iff its bin > k. This turns split search into histogram
+        // accumulation (the CatBoost approach), instead of rescanning all
+        // samples per candidate. Shared plans hand the table in pre-built.
+        let borders = &binned.borders;
+        let bin_of = &binned.bin_of;
         let features: Vec<usize> = (0..x.cols()).collect();
-        let bin_of: Vec<Vec<u8>> = vmin_par::par_map(&features, PAR_MIN_FEATURES, |_, &feature| {
-            let fb = &borders[feature];
-            (0..n)
-                .map(|i| {
-                    let v = x[(i, feature)];
-                    fb.iter().filter(|&&t| v > t).count() as u8
-                })
-                .collect()
-        });
         let mut preds = vec![self.base_score; n];
         let mut grad = vec![0.0; n];
         let mut hess = vec![0.0; n];
@@ -280,7 +258,7 @@ impl Regressor for ObliviousBoost {
                 vmin_par::par_chunks_mut(&mut leaf_of, ROUND_ROW_BLOCK, 2, |bi, chunk| {
                     let i0 = bi * ROUND_ROW_BLOCK;
                     for (di, leaf) in chunk.iter_mut().enumerate() {
-                        if x[(i0 + di, feature)] > threshold {
+                        if x.row(i0 + di)[feature] > threshold {
                             *leaf |= 1 << bit;
                         }
                     }
@@ -339,6 +317,29 @@ impl Regressor for ObliviousBoost {
             self.trees.push(tree);
         }
         Ok(())
+    }
+}
+
+impl Regressor for ObliviousBoost {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        self.validate(x, y)?;
+        let binned = BinnedDataset::compute(x, self.params.border_count)?;
+        self.fit_inner(x, y, &binned)
+    }
+
+    fn fit_with_plan(&mut self, x: &Matrix, y: &[f64], plan: &FitPlan) -> Result<()> {
+        if fit_cache_enabled() && plan.matches(x) {
+            self.validate(x, y)?;
+            vmin_trace::counter_add("models.fitplan.reuse", 1);
+            let binned = plan.binned(x, self.params.border_count)?;
+            self.fit_inner(x, y, &binned)
+        } else {
+            self.fit(x, y)
+        }
+    }
+
+    fn wants_fit_plan(&self) -> bool {
+        true
     }
 
     fn predict_row(&self, row: &[f64]) -> Result<f64> {
@@ -465,6 +466,74 @@ mod tests {
             },
         );
         assert!(bad.fit(&x, &y).is_err());
+    }
+
+    #[test]
+    fn border_count_beyond_u8_is_rejected() {
+        // bin_of stores u8 bins; >255 borders would silently wrap. The
+        // typed error must fire before any boosting happens.
+        let (x, y) = data(30, 10);
+        for bad_count in [0usize, 256, 1000] {
+            let mut cb = ObliviousBoost::with_params(
+                Loss::Squared,
+                ObliviousBoostParams {
+                    border_count: bad_count,
+                    ..ObliviousBoostParams::default()
+                },
+            );
+            let err = cb.fit(&x, &y).unwrap_err();
+            assert!(
+                matches!(err, ModelError::InvalidInput(_)),
+                "border_count {bad_count}: {err:?}"
+            );
+            assert_eq!(
+                cb.predict_row(&[0.0, 0.0]).unwrap_err(),
+                ModelError::NotFitted
+            );
+        }
+        // The boundary value is fine.
+        let mut ok = ObliviousBoost::with_params(
+            Loss::Squared,
+            ObliviousBoostParams {
+                border_count: 255,
+                n_rounds: 2,
+                ..ObliviousBoostParams::default()
+            },
+        );
+        assert!(ok.fit(&x, &y).is_ok());
+    }
+
+    #[test]
+    fn planned_fit_is_bit_identical_to_uncached() {
+        let (x, y) = data(180, 11);
+        for loss in [Loss::Squared, Loss::Pinball(0.95)] {
+            let plan = crate::fitplan::FitPlan::build(&x);
+            let fit_at = |cache_on: bool| {
+                crate::fitplan::with_fit_cache(cache_on, || {
+                    let mut m = ObliviousBoost::new(loss);
+                    m.fit_with_plan(&x, &y, &plan).unwrap();
+                    m
+                })
+            };
+            let cached = fit_at(true);
+            let uncached = fit_at(false);
+            assert_eq!(cached.trees, uncached.trees, "loss {loss:?}");
+            assert_eq!(cached.base_score, uncached.base_score);
+        }
+    }
+
+    #[test]
+    fn stale_plan_falls_back_to_direct_fit() {
+        let (x, y) = data(80, 12);
+        let (x_other, _) = data(80, 13);
+        let plan = crate::fitplan::FitPlan::build(&x_other);
+        crate::fitplan::with_fit_cache(true, || {
+            let mut via_plan = ObliviousBoost::new(Loss::Squared);
+            via_plan.fit_with_plan(&x, &y, &plan).unwrap();
+            let mut direct = ObliviousBoost::new(Loss::Squared);
+            direct.fit(&x, &y).unwrap();
+            assert_eq!(via_plan.trees, direct.trees);
+        });
     }
 
     #[test]

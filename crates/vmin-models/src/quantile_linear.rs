@@ -4,8 +4,10 @@
 //! class as OLS, trained on the pinball loss (Eq. 5) so that it estimates a
 //! conditional quantile instead of the conditional mean.
 
+use crate::fitplan::{fit_cache_enabled, standardize_design, FitPlan, StandardizedDesign};
 use crate::optimizer::Adam;
 use crate::traits::{validate_training, Loss, ModelError, Regressor, Result};
+use std::sync::Arc;
 use vmin_linalg::Matrix;
 
 /// Linear model `ŷ = β₀ + βᵀx` trained to minimize the pinball loss at a
@@ -67,43 +69,21 @@ impl QuantileLinear {
     pub fn quantile(&self) -> f64 {
         self.quantile
     }
-}
 
-impl Regressor for QuantileLinear {
-    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
-        validate_training(x, y)?;
-        Loss::Pinball(self.quantile).validate()?;
-        let n = x.rows();
-        let d = x.cols();
+    /// The shared fit body; `design` carries the standardized features
+    /// (cached from a plan or freshly computed — same code either way).
+    fn fit_inner(&mut self, y: &[f64], design: &StandardizedDesign) -> Result<()> {
+        let n = design.rows.len();
+        let d = design.feat_means.len();
 
-        // Standardize features and center/scale targets.
-        self.feat_means = (0..d)
-            .map(|j| x.col_iter(j).sum::<f64>() / n as f64)
-            .collect();
-        self.feat_scales = (0..d)
-            .map(|j| {
-                let m = self.feat_means[j];
-                let v = x.col_iter(j).map(|v| (v - m) * (v - m)).sum::<f64>() / n.max(2) as f64;
-                if v > 1e-24 {
-                    v.sqrt()
-                } else {
-                    1.0
-                }
-            })
-            .collect();
+        // Standardized features from the design; center/scale targets.
+        self.feat_means = design.feat_means.clone();
+        self.feat_scales = design.feat_scales.clone();
         self.y_center = vmin_linalg::mean(y);
         let sd = vmin_linalg::std_dev(y);
         self.y_scale = if sd > 1e-12 { sd } else { 1.0 };
 
-        let xs: Vec<Vec<f64>> = (0..n)
-            .map(|i| {
-                x.row(i)
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &v)| (v - self.feat_means[j]) / self.feat_scales[j])
-                    .collect()
-            })
-            .collect();
+        let xs = &design.rows;
         let ys: Vec<f64> = y
             .iter()
             .map(|v| (v - self.y_center) / self.y_scale)
@@ -132,6 +112,29 @@ impl Regressor for QuantileLinear {
         }
         self.params = Some(params);
         Ok(())
+    }
+}
+
+impl Regressor for QuantileLinear {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        validate_training(x, y)?;
+        Loss::Pinball(self.quantile).validate()?;
+        self.fit_inner(y, &standardize_design(x))
+    }
+
+    fn fit_with_plan(&mut self, x: &Matrix, y: &[f64], plan: &FitPlan) -> Result<()> {
+        if fit_cache_enabled() && plan.matches(x) {
+            validate_training(x, y)?;
+            Loss::Pinball(self.quantile).validate()?;
+            let design: Arc<StandardizedDesign> = plan.standardized(x);
+            self.fit_inner(y, &design)
+        } else {
+            self.fit(x, y)
+        }
+    }
+
+    fn wants_fit_plan(&self) -> bool {
+        true
     }
 
     fn predict_row(&self, row: &[f64]) -> Result<f64> {
@@ -253,5 +256,18 @@ mod tests {
             a.predict_row(&[1.0]).unwrap(),
             b.predict_row(&[1.0]).unwrap()
         );
+    }
+
+    #[test]
+    fn planned_fit_is_bit_identical_to_direct() {
+        let (x, y) = hetero_data(120, 7);
+        let plan = FitPlan::build(&x);
+        crate::fitplan::with_fit_cache(true, || {
+            let mut planned = QuantileLinear::new(0.9);
+            planned.fit_with_plan(&x, &y, &plan).unwrap();
+            let mut direct = QuantileLinear::new(0.9);
+            direct.fit(&x, &y).unwrap();
+            assert_eq!(planned, direct);
+        });
     }
 }

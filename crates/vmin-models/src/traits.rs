@@ -1,5 +1,6 @@
 //! Common model interfaces and error type.
 
+use crate::fitplan::FitPlan;
 use std::error::Error;
 use std::fmt;
 use vmin_linalg::Matrix;
@@ -140,6 +141,28 @@ pub trait Regressor: fmt::Debug + Send + Sync {
     /// [`ModelError::Numerical`] when the underlying solver fails.
     fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()>;
 
+    /// Fits the model on `x` and `y`, reusing the shared [`FitPlan`] built
+    /// for `x` where the model can (sorted-column blocks for boosted trees,
+    /// binned datasets for oblivious trees, standardized designs for
+    /// standardizing models). The contract is **exactness**: the fitted
+    /// model must be byte-identical to [`Regressor::fit`] on the same data.
+    /// Models that cannot use a plan — and every model handed a plan that
+    /// does not describe `x` — fall back to `fit`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Regressor::fit`].
+    fn fit_with_plan(&mut self, x: &Matrix, y: &[f64], _plan: &FitPlan) -> Result<()> {
+        self.fit(x, y)
+    }
+
+    /// Whether [`Regressor::fit_with_plan`] actually consumes a plan.
+    /// Callers use this to skip plan construction for pure closed-form
+    /// models (OLS, GP) where nothing would be reused.
+    fn wants_fit_plan(&self) -> bool {
+        false
+    }
+
     /// Predicts one sample.
     ///
     /// # Errors
@@ -167,6 +190,14 @@ pub trait Regressor: fmt::Debug + Send + Sync {
 impl Regressor for Box<dyn Regressor> {
     fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
         (**self).fit(x, y)
+    }
+
+    fn fit_with_plan(&mut self, x: &Matrix, y: &[f64], plan: &FitPlan) -> Result<()> {
+        (**self).fit_with_plan(x, y, plan)
+    }
+
+    fn wants_fit_plan(&self) -> bool {
+        (**self).wants_fit_plan()
     }
 
     fn predict_row(&self, row: &[f64]) -> Result<f64> {

@@ -154,6 +154,47 @@ fn thread_count_and_tracing_matrix_is_bit_identical() {
 }
 
 #[test]
+fn fit_cache_and_thread_count_matrix_is_bit_identical() {
+    // PR 5 extends the matrix with the fit-plan cache dimension: the full
+    // simulate → assemble → CQR-XGBoost pipeline must be byte-identical at
+    // VMIN_THREADS ∈ {1, 2, 8} × fit cache {off, on}. The cache is a pure
+    // time optimization; the reference cell is single-threaded + uncached.
+    let run = |threads: usize, cache_on: bool| {
+        vmin_par::with_threads(threads, || {
+            cqr_vmin::models::with_fit_cache(cache_on, || {
+                let campaign = Campaign::run(&DatasetSpec::small(), 7);
+                let ds = assemble_dataset(&campaign, 0, 1, FeatureSet::Both).unwrap();
+                let predictor = VminPredictor::fit(
+                    &ds,
+                    RegionMethod::Cqr(PointModel::Xgboost),
+                    0.1,
+                    0.25,
+                    42,
+                    &ModelConfig::fast(),
+                )
+                .unwrap();
+                (0..ds.n_samples())
+                    .map(|i| {
+                        let iv = predictor.interval(ds.sample(i)).unwrap();
+                        (iv.lo().to_bits(), iv.hi().to_bits())
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+    };
+    let reference = run(1, false);
+    for threads in [1usize, 2, 8] {
+        for cache_on in [false, true] {
+            assert_eq!(
+                run(threads, cache_on),
+                reference,
+                "intervals diverged at threads={threads} fit_cache={cache_on}"
+            );
+        }
+    }
+}
+
+#[test]
 fn par_map_preserves_input_order_at_any_thread_count() {
     // Awkward sizes exercise uneven chunking: remainders, fewer items than
     // threads, and single-item inputs.
