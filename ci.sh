@@ -85,4 +85,26 @@ test -s target/fit-cache-off.txt
 diff target/fit-cache-off.txt target/fit-cache-on.txt \
     || { echo "fit-plan cache changed interval bits"; exit 1; }
 
+echo "==> streaming drift leg: thread invariance, kill switch, trace counters"
+# The drifted stream must be byte-identical under any thread count.
+VMIN_ADAPTIVE=1 VMIN_THREADS=1 VMIN_TRACE_JSON=target/trace-drift.json \
+    cargo run -q --release -p vmin-bench --bin drift_smoke > target/drift-t1.txt
+VMIN_ADAPTIVE=1 VMIN_THREADS=8 \
+    cargo run -q --release -p vmin-bench --bin drift_smoke > target/drift-t8.txt
+diff target/drift-t1.txt target/drift-t8.txt \
+    || { echo "drift stream differs between VMIN_THREADS=1 and 8"; exit 1; }
+# The kill switch must actually change behavior on a drifting stream (the
+# binary self-checks the frozen-static degradation contract when disabled).
+VMIN_ADAPTIVE=0 VMIN_THREADS=1 \
+    cargo run -q --release -p vmin-bench --bin drift_smoke > target/drift-off.txt
+if diff -q target/drift-t1.txt target/drift-off.txt > /dev/null; then
+    echo "VMIN_ADAPTIVE=0 output is identical to the adaptive run"; exit 1
+fi
+# The adaptive layer's deterministic counters must reach the trace report.
+test -s target/trace-drift.json
+grep -q '"conformal.adaptive.observations"' target/trace-drift.json
+grep -q '"conformal.adaptive.recalibrations"' target/trace-drift.json
+grep -q '"conformal.adaptive.transitions"' target/trace-drift.json
+grep -q '"core.stream.read_points"' target/trace-drift.json
+
 echo "CI green."

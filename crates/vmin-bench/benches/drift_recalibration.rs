@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the streaming adaptive layer: the cost of
+//! one `observe()` (the per-telemetry-packet overhead a deployed fleet
+//! pays), a full nominal stream, and a full stream through a drift fault
+//! with window flush and recalibration audit.
+
+use vmin_bench::harness::Criterion;
+use vmin_bench::{criterion_group, criterion_main};
+use vmin_conformal::{AdaptiveCalibrator, AdaptiveConfig, PredictionInterval};
+use vmin_core::{run_stream, StreamConfig};
+use vmin_silicon::{Campaign, DatasetSpec, DriftClass, DriftFault, DriftInjector};
+
+/// Deterministic pseudo-noise in (−1, 1) without an RNG dependency.
+fn noise(i: usize) -> f64 {
+    2.0 * (i as f64 * 0.618_033_988_749_895).fract() - 1.0
+}
+
+fn bench_drift_recalibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drift_recalibration");
+
+    group.bench_function("observe_per_packet", |b| {
+        let initial: Vec<f64> = (0..128).map(|i| 0.9 * noise(i).abs() - 1.0).collect();
+        let cal = AdaptiveCalibrator::new(&initial, AdaptiveConfig::for_alpha(0.2)).unwrap();
+        b.iter(|| {
+            let mut cal = cal.clone();
+            let mut last = 0.0;
+            for i in 0..256 {
+                let y = 550.0 + 0.9 * noise(i);
+                let obs = cal
+                    .observe(PredictionInterval::new(549.0, 551.0), y)
+                    .unwrap();
+                last = obs.qhat;
+            }
+            last
+        })
+    });
+
+    let clean = Campaign::run(&DatasetSpec::small(), 7);
+    let (drifted, _) = DriftInjector::new(
+        vec![DriftFault {
+            class: DriftClass::Ramp,
+            onset: 3,
+            magnitude_mv: 20.0,
+            fraction: 1.0,
+        }],
+        41,
+    )
+    .unwrap()
+    .inject(&clean);
+
+    group.bench_function("stream_nominal", |b| {
+        b.iter(|| run_stream(&clean, &StreamConfig::fast(0.2)).unwrap())
+    });
+
+    group.bench_function("stream_ramp_drift", |b| {
+        b.iter(|| run_stream(&drifted, &StreamConfig::fast(0.2)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_drift_recalibration);
+criterion_main!(benches);

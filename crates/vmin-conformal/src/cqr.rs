@@ -131,20 +131,41 @@ impl<L: Regressor, H: Regressor> Cqr<L, H> {
                 y_cal.len()
             )));
         }
-        let lo = self.lo_model.predict(x_cal)?;
-        let hi = self.hi_model.predict(x_cal)?;
-        // CQR score (Eq. 9): positive when y escapes the heuristic band.
-        let scores: Vec<f64> = lo
-            .iter()
-            .zip(&hi)
-            .zip(y_cal)
-            .map(|((l, h), y)| (l - y).max(y - h))
-            .collect();
+        let scores = self.scores(x_cal, y_cal)?;
         let qhat = conformal_quantile(&scores, self.alpha)?;
         vmin_trace::counter_add("conformal.cqr.calibrations", 1);
         vmin_trace::gauge_max("conformal.cqr.qhat.max", qhat);
         self.qhat = Some(qhat);
         Ok(())
+    }
+
+    /// Nonconformity scores of the fitted pair over `(x, y)` —
+    /// `s(x, y) = max{ ĝ_lo(x) − y, y − ĝ_hi(x) }` (Eq. 9): positive when
+    /// `y` escapes the heuristic band. This is the raw material of every
+    /// calibration: [`Self::calibrate`] takes its conformal quantile, the
+    /// guarded audit compares slices of it, and the streaming adaptive
+    /// layer keeps a rolling window of it.
+    ///
+    /// # Errors
+    ///
+    /// Model errors on prediction failure; [`ConformalError::InvalidArgument`]
+    /// on a row/target length mismatch.
+    pub fn scores(&self, x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+        if x.rows() != y.len() {
+            return Err(ConformalError::InvalidArgument(format!(
+                "score set: {} rows vs {} targets",
+                x.rows(),
+                y.len()
+            )));
+        }
+        let lo = self.lo_model.predict(x)?;
+        let hi = self.hi_model.predict(x)?;
+        Ok(lo
+            .iter()
+            .zip(&hi)
+            .zip(y)
+            .map(|((l, h), t)| (l - t).max(t - h))
+            .collect())
     }
 
     /// The calibrated correction `q̂` (may be negative: CQR can *shrink* an

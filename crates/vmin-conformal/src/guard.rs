@@ -21,7 +21,7 @@
 //!   failure instead of a silently miscalibrated predictor.
 
 use crate::cqr::Cqr;
-use crate::interval::{ConformalError, PredictionInterval, Result};
+use crate::interval::{CalibrationError, ConformalError, PredictionInterval, Result};
 use crate::quantile::conformal_quantile;
 use vmin_linalg::Matrix;
 use vmin_models::Regressor;
@@ -55,7 +55,7 @@ impl Default for GuardConfig {
 }
 
 impl GuardConfig {
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if !(self.audit_fraction > 0.0 && self.audit_fraction < 1.0) {
             return Err(ConformalError::InvalidArgument(format!(
                 "audit_fraction must be in (0, 1), got {}",
@@ -81,6 +81,97 @@ impl GuardConfig {
         }
         Ok(())
     }
+}
+
+impl GuardConfig {
+    /// Round-robin stride of the audit split: every `stride`-th point is
+    /// audit. Shared by [`GuardedCqr`] and the adaptive recalibration valve
+    /// so both slice the window identically.
+    pub(crate) fn audit_stride(&self) -> usize {
+        (1.0 / self.audit_fraction).round().max(2.0) as usize
+    }
+}
+
+/// The decision of the widen-or-reject audit core over one held-out score
+/// slice — the shared terminal safety valve of [`GuardedCqr`] and the
+/// streaming adaptive calibrator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum AuditDecision {
+    /// Audit coverage consistent with 1−α; `qhat` stands.
+    Pass {
+        /// Empirical audit-slice coverage of the proper-slice correction.
+        audit_coverage: f64,
+    },
+    /// Mild deficit repaired by recalibrating on the audit slice itself.
+    Widen {
+        /// Audit coverage of the original correction.
+        audit_coverage: f64,
+        /// Audit coverage after widening.
+        widened_coverage: f64,
+        /// The widened correction now in force.
+        qhat_after: f64,
+    },
+}
+
+/// The widen-or-reject audit contract over raw score slices: given the
+/// proper-slice correction `qhat` and the held-out `audit_scores`, pass when
+/// audit coverage sits within `tolerance_sds` binomial standard deviations
+/// of 1−α, widen (fresh conformal calibration on the audit slice, wider of
+/// the two corrections) on a mild deficit, and reject with
+/// [`ConformalError::CalibrationContaminated`] on a severe one or when the
+/// audit slice cannot re-certify α.
+///
+/// Callers are responsible for finite, non-empty `audit_scores` and a valid
+/// `alpha` — both already enforced on every path that reaches here.
+pub(crate) fn audit_widen_or_reject(
+    qhat: f64,
+    audit_scores: &[f64],
+    alpha: f64,
+    config: &GuardConfig,
+) -> Result<AuditDecision> {
+    let m = audit_scores.len() as f64;
+    let target = 1.0 - alpha;
+    let sd = (target * alpha / m).sqrt();
+    let required = (target - config.tolerance_sds * sd).max(0.0);
+    let coverage_at =
+        |q: f64| -> f64 { audit_scores.iter().filter(|&&s| s <= q).count() as f64 / m };
+
+    let audit_coverage = coverage_at(qhat);
+    if audit_coverage >= required {
+        return Ok(AuditDecision::Pass { audit_coverage });
+    }
+
+    // Severe deficit: the two slices describe incompatible score
+    // distributions. No widening derived from this data is trustworthy.
+    let severe_floor = (target - config.severe_sds * sd).max(0.0);
+    if audit_coverage < severe_floor {
+        return Err(ConformalError::CalibrationContaminated {
+            audit_coverage,
+            required,
+        });
+    }
+
+    // Mild deficit: re-derive q̂ by a fresh conformal calibration on the
+    // audit slice itself — the slice that exposed the problem — so the
+    // widened band inherits its rank-based guarantee from the held-out
+    // data, not from the slice under suspicion. Using the combined
+    // scores here would let the suspect proper slice vote on its own
+    // acquittal.
+    let qhat_wide = conformal_quantile(audit_scores, alpha)?.max(qhat);
+    if !qhat_wide.is_finite() {
+        // Audit slice too small for the rank-based α quantile: the
+        // deficit cannot be re-certified from held-out data.
+        return Err(ConformalError::CalibrationContaminated {
+            audit_coverage,
+            required,
+        });
+    }
+    let widened_coverage = coverage_at(qhat_wide);
+    Ok(AuditDecision::Widen {
+        audit_coverage,
+        widened_coverage,
+        qhat_after: qhat_wide,
+    })
 }
 
 /// What the calibration audit concluded.
@@ -172,10 +263,26 @@ impl<L: Regressor, H: Regressor> GuardedCqr<L, H> {
                 y_cal.len()
             )));
         }
+        // Structurally unusable windows are the typed degenerate path: an
+        // empty calibration set, or one with no finite target at all, has
+        // nothing to audit — distinct from contamination, which is a
+        // populated window under suspicion.
+        if y_cal.is_empty() {
+            return Err(ConformalError::Calibration(CalibrationError::EmptyWindow));
+        }
+        let non_finite = y_cal.iter().filter(|v| !v.is_finite()).count();
+        if non_finite == y_cal.len() {
+            return Err(ConformalError::Calibration(
+                CalibrationError::NonFiniteScores {
+                    non_finite,
+                    total: y_cal.len(),
+                },
+            ));
+        }
         // Non-finite calibration values would poison the rank-based quantile
         // machinery downstream; surface them as contamination before any
         // fitting happens.
-        if y_cal.iter().any(|v| !v.is_finite()) || x_cal.as_slice().iter().any(|v| !v.is_finite()) {
+        if non_finite > 0 || x_cal.as_slice().iter().any(|v| !v.is_finite()) {
             return Err(ConformalError::CalibrationContaminated {
                 audit_coverage: f64::NAN,
                 required: 1.0 - alpha,
@@ -184,7 +291,7 @@ impl<L: Regressor, H: Regressor> GuardedCqr<L, H> {
         let n = y_cal.len();
         // Round-robin split: every `stride`-th point is audit. Deterministic,
         // and interleaving is unbiased for any upstream row order.
-        let stride = (1.0 / config.audit_fraction).round().max(2.0) as usize;
+        let stride = config.audit_stride();
         let audit_idx: Vec<usize> = (0..n).filter(|i| i % stride == 0).collect();
         let proper_idx: Vec<usize> = (0..n).filter(|i| i % stride != 0).collect();
         if audit_idx.len() < config.min_audit || proper_idx.is_empty() {
@@ -220,62 +327,37 @@ impl<L: Regressor, H: Regressor> GuardedCqr<L, H> {
             });
         }
 
-        let m = audit_scores.len() as f64;
-        let target = 1.0 - alpha;
-        let sd = (target * alpha / m).sqrt();
-        let required = (target - config.tolerance_sds * sd).max(0.0);
-        let coverage_at =
-            |q: f64| -> f64 { audit_scores.iter().filter(|&&s| s <= q).count() as f64 / m };
-
-        let audit_coverage = coverage_at(qhat);
-        if audit_coverage >= required {
-            vmin_trace::counter_add("conformal.guard.passed", 1);
-            return Ok(GuardedCqr {
-                cqr,
-                qhat,
-                outcome: GuardOutcome::Passed { audit_coverage },
-            });
-        }
-
-        // Severe deficit: the two slices describe incompatible score
-        // distributions. No widening derived from this data is trustworthy.
-        let severe_floor = (target - config.severe_sds * sd).max(0.0);
-        if audit_coverage < severe_floor {
-            vmin_trace::counter_add("conformal.guard.rejected", 1);
-            return Err(ConformalError::CalibrationContaminated {
-                audit_coverage,
-                required,
-            });
-        }
-
-        // Mild deficit: re-derive q̂ by a fresh conformal calibration on the
-        // audit slice itself — the slice that exposed the problem — so the
-        // widened band inherits its rank-based guarantee from the held-out
-        // data, not from the slice under suspicion. Using the combined
-        // scores here would let the suspect proper slice vote on its own
-        // acquittal.
-        let qhat_wide = conformal_quantile(&audit_scores, alpha)?.max(qhat);
-        if !qhat_wide.is_finite() {
-            // Audit slice too small for the rank-based α quantile: the
-            // deficit cannot be re-certified from held-out data.
-            vmin_trace::counter_add("conformal.guard.rejected", 1);
-            return Err(ConformalError::CalibrationContaminated {
-                audit_coverage,
-                required,
-            });
-        }
-        let widened_coverage = coverage_at(qhat_wide);
-        vmin_trace::counter_add("conformal.guard.widened", 1);
-        Ok(GuardedCqr {
-            cqr,
-            qhat: qhat_wide,
-            outcome: GuardOutcome::Widened {
+        match audit_widen_or_reject(qhat, &audit_scores, alpha, config) {
+            Ok(AuditDecision::Pass { audit_coverage }) => {
+                vmin_trace::counter_add("conformal.guard.passed", 1);
+                Ok(GuardedCqr {
+                    cqr,
+                    qhat,
+                    outcome: GuardOutcome::Passed { audit_coverage },
+                })
+            }
+            Ok(AuditDecision::Widen {
                 audit_coverage,
                 widened_coverage,
-                qhat_before: qhat,
-                qhat_after: qhat_wide,
-            },
-        })
+                qhat_after,
+            }) => {
+                vmin_trace::counter_add("conformal.guard.widened", 1);
+                Ok(GuardedCqr {
+                    cqr,
+                    qhat: qhat_after,
+                    outcome: GuardOutcome::Widened {
+                        audit_coverage,
+                        widened_coverage,
+                        qhat_before: qhat,
+                        qhat_after,
+                    },
+                })
+            }
+            Err(e) => {
+                vmin_trace::counter_add("conformal.guard.rejected", 1);
+                Err(e)
+            }
+        }
     }
 
     /// What the audit concluded.
@@ -325,14 +407,7 @@ fn cqr_scores<L: Regressor, H: Regressor>(
     x: &Matrix,
     y: &[f64],
 ) -> Result<Vec<f64>> {
-    let lo = cqr.lo_model().predict(x)?;
-    let hi = cqr.hi_model().predict(x)?;
-    Ok(lo
-        .iter()
-        .zip(&hi)
-        .zip(y)
-        .map(|((l, h), t)| (l - t).max(t - h))
-        .collect())
+    cqr.scores(x, y)
 }
 
 #[cfg(test)]

@@ -3,6 +3,41 @@
 use std::error::Error;
 use std::fmt;
 
+/// A degenerate calibration window: no usable scores at all.
+///
+/// Distinct from [`ConformalError::CalibrationContaminated`] (a *suspicious*
+/// but populated window): these are the structural failure modes — nothing
+/// to calibrate from — that the streaming/adaptive layer must be able to
+/// branch on without string-matching. Carried inside
+/// [`ConformalError::Calibration`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// The calibration window holds zero scores.
+    EmptyWindow,
+    /// Every score in the window (or the single streamed observation) is
+    /// non-finite — there is no finite rank statistic to calibrate from.
+    NonFiniteScores {
+        /// How many of the scores were non-finite.
+        non_finite: usize,
+        /// Total number of scores inspected.
+        total: usize,
+    },
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationError::EmptyWindow => write!(f, "empty calibration window"),
+            CalibrationError::NonFiniteScores { non_finite, total } => write!(
+                f,
+                "calibration window unusable: {non_finite} of {total} scores non-finite"
+            ),
+        }
+    }
+}
+
+impl Error for CalibrationError {}
+
 /// Error produced by conformal predictors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConformalError {
@@ -12,6 +47,9 @@ pub enum ConformalError {
     Model(String),
     /// Calibration has not happened yet.
     NotCalibrated,
+    /// The calibration window is structurally unusable (empty, or every
+    /// score non-finite) — see [`CalibrationError`].
+    Calibration(CalibrationError),
     /// The guarded-calibration audit found the 1−α guarantee statistically
     /// untenable on the held-out calibration slice (even after widening),
     /// or a calibration score was non-finite.
@@ -30,6 +68,7 @@ impl fmt::Display for ConformalError {
             ConformalError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             ConformalError::Model(m) => write!(f, "model failure: {m}"),
             ConformalError::NotCalibrated => write!(f, "predictor has not been calibrated"),
+            ConformalError::Calibration(e) => write!(f, "unusable calibration window: {e}"),
             ConformalError::CalibrationContaminated {
                 audit_coverage,
                 required,
@@ -47,6 +86,12 @@ impl Error for ConformalError {}
 impl From<vmin_models::ModelError> for ConformalError {
     fn from(e: vmin_models::ModelError) -> Self {
         ConformalError::Model(e.to_string())
+    }
+}
+
+impl From<CalibrationError> for ConformalError {
+    fn from(e: CalibrationError) -> Self {
+        ConformalError::Calibration(e)
     }
 }
 

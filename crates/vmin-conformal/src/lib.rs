@@ -11,6 +11,9 @@
 //!   are built on.
 //! - Extensions for ablations: [`NormalizedConformal`],
 //!   [`MondrianConformal`], [`JackknifePlus`].
+//! - [`AdaptiveCalibrator`]: the streaming in-field layer — rolling
+//!   calibration window, ACI feedback, drift detection and the typed
+//!   degradation ladder `Nominal → Widened → Recalibrating → Rejecting`.
 //!
 //! ## Example
 //!
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod cqr;
 mod cqr_asymmetric;
 mod cv_plus;
@@ -47,13 +51,18 @@ mod interval;
 mod quantile;
 mod split_cp;
 
+pub use adaptive::{
+    adaptive_enabled, set_adaptive_enabled, with_adaptive, AdaptiveCalibrator, AdaptiveConfig,
+    LadderState, LadderTransition, StreamObservation,
+};
 pub use cqr::Cqr;
 pub use cqr_asymmetric::CqrAsymmetric;
 pub use cv_plus::CvPlus;
 pub use extensions::{JackknifePlus, MondrianConformal, NormalizedConformal};
 pub use guard::{GuardConfig, GuardOutcome, GuardedCqr};
 pub use interval::{
-    evaluate_intervals, ConformalError, IntervalReport, PredictionInterval, Result,
+    evaluate_intervals, CalibrationError, ConformalError, IntervalReport, PredictionInterval,
+    Result,
 };
 pub use quantile::{conformal_quantile, min_calibration_size};
 pub use split_cp::SplitConformal;

@@ -1,7 +1,7 @@
 //! The conformal quantile: the finite-sample-corrected empirical quantile of
 //! calibration scores that gives split CP and CQR their coverage guarantee.
 
-use crate::interval::{ConformalError, Result};
+use crate::interval::{CalibrationError, ConformalError, Result};
 
 /// Computes the `⌈(M+1)(1−α)⌉ / M`-th empirical quantile of the calibration
 /// scores (the level used in Eq. 8/10 of the paper).
@@ -14,8 +14,11 @@ use crate::interval::{ConformalError, Result};
 ///
 /// # Errors
 ///
-/// - [`ConformalError::InvalidArgument`] when `scores` is empty, contains a
-///   NaN, or `alpha ∉ (0, 1)`.
+/// - [`ConformalError::Calibration`] when `scores` is empty
+///   ([`CalibrationError::EmptyWindow`]), contains a NaN, or holds no finite
+///   score at all ([`CalibrationError::NonFiniteScores`]) — the typed
+///   degenerate-window path the streaming/adaptive layer branches on.
+/// - [`ConformalError::InvalidArgument`] when `alpha ∉ (0, 1)`.
 ///
 /// # Examples
 ///
@@ -28,18 +31,25 @@ use crate::interval::{ConformalError, Result};
 /// ```
 pub fn conformal_quantile(scores: &[f64], alpha: f64) -> Result<f64> {
     if scores.is_empty() {
-        return Err(ConformalError::InvalidArgument(
-            "empty calibration scores".into(),
-        ));
+        return Err(ConformalError::Calibration(CalibrationError::EmptyWindow));
     }
     if !(alpha > 0.0 && alpha < 1.0) {
         return Err(ConformalError::InvalidArgument(format!(
             "alpha must be in (0, 1), got {alpha}"
         )));
     }
-    if scores.iter().any(|s| s.is_nan()) {
-        return Err(ConformalError::InvalidArgument(
-            "NaN in calibration scores".into(),
+    // A NaN anywhere poisons the rank statistic; a window of nothing but
+    // ±∞ has no finite rank to offer either. Both are the typed degenerate
+    // path (never a panic): the adaptive layer downgrades on it instead of
+    // dying mid-stream. Isolated +∞ among finite scores stays legal — that
+    // is the censored-score case the theory handles by widening.
+    let non_finite = scores.iter().filter(|s| !s.is_finite()).count();
+    if scores.iter().any(|s| s.is_nan()) || non_finite == scores.len() {
+        return Err(ConformalError::Calibration(
+            CalibrationError::NonFiniteScores {
+                non_finite,
+                total: scores.len(),
+            },
         ));
     }
     let m = scores.len();
@@ -121,6 +131,29 @@ mod tests {
         assert!(conformal_quantile(&[1.0], 0.0).is_err());
         assert!(conformal_quantile(&[1.0], 1.0).is_err());
         assert!(conformal_quantile(&[f64::NAN], 0.1).is_err());
+    }
+
+    #[test]
+    fn degenerate_windows_are_typed_calibration_errors() {
+        use crate::interval::CalibrationError;
+        assert_eq!(
+            conformal_quantile(&[], 0.1).unwrap_err(),
+            ConformalError::Calibration(CalibrationError::EmptyWindow)
+        );
+        assert_eq!(
+            conformal_quantile(&[f64::INFINITY, f64::NEG_INFINITY], 0.5).unwrap_err(),
+            ConformalError::Calibration(CalibrationError::NonFiniteScores {
+                non_finite: 2,
+                total: 2,
+            })
+        );
+        match conformal_quantile(&[1.0, f64::NAN], 0.5).unwrap_err() {
+            ConformalError::Calibration(CalibrationError::NonFiniteScores { .. }) => {}
+            other => panic!("NaN must be a typed NonFiniteScores error, got {other:?}"),
+        }
+        // An isolated +∞ among finite scores stays legal (censored score):
+        // it only inflates the quantile, exactly as the theory prescribes.
+        assert!(conformal_quantile(&[1.0, 2.0, f64::INFINITY], 0.5).is_ok());
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod reliability;
 mod report;
 mod scenario;
 mod screening;
+mod streaming;
 mod zoo;
 
 pub use binning::{bin_population, BinningReport, BinningScheme};
@@ -73,7 +74,9 @@ pub use report::{
     format_feature_set_table, format_point_table, format_region_table, format_repair_log,
 };
 pub use scenario::{
-    assemble_dataset, assemble_dataset_with_trends, monitor_read_points, FeatureSet, ScenarioError,
+    assemble_dataset, assemble_dataset_with_trends, assemble_stream_snapshot, monitor_read_points,
+    FeatureSet, ScenarioError,
 };
 pub use screening::{simulate_screening, ScreeningDecision, ScreeningPolicy, ScreeningReport};
+pub use streaming::{run_stream, ReadPointStats, StreamConfig, StreamReport};
 pub use zoo::{ModelConfig, PointModel, RegionMethod};

@@ -161,6 +161,98 @@ pub fn assemble_dataset(
     Dataset::new(features, targets, names).map_err(|e| ScenarioError::Shape(e.to_string()))
 }
 
+/// Builds the *streaming snapshot* dataset for read point `k`: the features
+/// an in-field telemetry packet actually carries — time-0 parametric data
+/// (frozen at production test) plus the monitor readings **at read point
+/// `k` itself** — against Vmin at `(k, temp_idx)`.
+///
+/// Unlike [`assemble_dataset`], whose in-field feature space grows with the
+/// read point (all *previous* monitor reads), the snapshot space has the
+/// same dimensionality at every read point. That is what lets one model,
+/// fitted at production test (read point 0), be *applied unchanged* to
+/// every later telemetry packet — the deployment the streaming adaptive
+/// layer recalibrates. Monitor feature names carry a `_now` suffix instead
+/// of the hour stamp, making the positional consistency explicit.
+///
+/// # Errors
+///
+/// Same conditions as [`assemble_dataset`].
+///
+/// # Examples
+///
+/// ```
+/// use vmin_core::{assemble_stream_snapshot, FeatureSet};
+/// use vmin_silicon::{Campaign, DatasetSpec};
+///
+/// let campaign = Campaign::run(&DatasetSpec::small(), 1);
+/// let t0 = assemble_stream_snapshot(&campaign, 0, 1, FeatureSet::Both)?;
+/// let t5 = assemble_stream_snapshot(&campaign, 5, 1, FeatureSet::Both)?;
+/// assert_eq!(t0.n_features(), t5.n_features()); // constant feature space
+/// # Ok::<(), vmin_core::ScenarioError>(())
+/// ```
+pub fn assemble_stream_snapshot(
+    campaign: &Campaign,
+    read_point: usize,
+    temp_idx: usize,
+    feature_set: FeatureSet,
+) -> Result<Dataset, ScenarioError> {
+    if read_point >= campaign.read_points.len() {
+        return Err(ScenarioError::IndexOutOfRange(format!(
+            "read point {read_point} (campaign has {})",
+            campaign.read_points.len()
+        )));
+    }
+    if temp_idx >= campaign.temperatures.len() {
+        return Err(ScenarioError::IndexOutOfRange(format!(
+            "temperature index {temp_idx} (campaign has {})",
+            campaign.temperatures.len()
+        )));
+    }
+    let use_parametric = matches!(feature_set, FeatureSet::Parametric | FeatureSet::Both);
+    let use_onchip = matches!(feature_set, FeatureSet::OnChip | FeatureSet::Both);
+
+    let mut names: Vec<String> = Vec::new();
+    if use_parametric {
+        names.extend(campaign.parametric_names.iter().cloned());
+    }
+    if use_onchip {
+        names.extend((0..campaign.spec.monitors.rod_count).map(|j| format!("rod_{j:03}_now")));
+        names.extend((0..campaign.spec.monitors.cpd_count).map(|j| format!("cpd_{j:02}_now")));
+    }
+
+    let n = campaign.chip_count();
+    let d = names.len();
+    let mut features = Matrix::zeros(n, d);
+    let mut targets = Vec::with_capacity(n);
+    for (i, chip) in campaign.chips.iter().enumerate() {
+        let mut col = 0;
+        if use_parametric {
+            for &v in &chip.parametric {
+                features[(i, col)] = v;
+                col += 1;
+            }
+        }
+        if use_onchip {
+            for &v in &chip.rod[read_point] {
+                features[(i, col)] = v;
+                col += 1;
+            }
+            for &v in &chip.cpd[read_point] {
+                features[(i, col)] = v;
+                col += 1;
+            }
+        }
+        if col != d {
+            return Err(ScenarioError::Shape(format!(
+                "chip {i}: filled {col} of {d} snapshot columns"
+            )));
+        }
+        targets.push(chip.vmin_mv[read_point][temp_idx]);
+    }
+
+    Dataset::new(features, targets, names).map_err(|e| ScenarioError::Shape(e.to_string()))
+}
+
 /// Like [`assemble_dataset`], but additionally appends *trend features* for
 /// in-field read points: the per-monitor delta between the latest and the
 /// earliest available read (ROD and CPD), explicitly encoding each chip's

@@ -125,3 +125,34 @@ fn vmin_trace_is_the_only_clock_user_in_the_workspace() {
          sanctioned user disappeared)"
     );
 }
+
+#[test]
+fn streaming_modules_are_free_of_determinism_hazards() {
+    // The streaming adaptive layer (PR 6) is exactly the kind of code that
+    // tempts wall-clock timestamps ("when did drift start?") and hash-map
+    // state (per-chip windows): pin its three modules to zero findings from
+    // the two determinism rules, independent of the workspace-wide deny
+    // gate, so a future carve-out or rule weakening cannot quietly exempt
+    // them.
+    use vmin_lint::engine::lint_source;
+    let modules = [
+        ("vmin-conformal", "crates/vmin-conformal/src/adaptive.rs"),
+        ("vmin-silicon", "crates/vmin-silicon/src/drift.rs"),
+        ("vmin-core", "crates/vmin-core/src/streaming.rs"),
+    ];
+    for (krate, rel) in modules {
+        let path = workspace_root().join(rel);
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+        let (findings, _) = lint_source(krate, false, &src);
+        let hazards: Vec<String> = findings
+            .iter()
+            .filter(|f| f.rule == "det-wall-clock" || f.rule == "det-hash-collection")
+            .map(|f| format!("{rel}:{}: [{}] {}", f.line, f.rule, f.message))
+            .collect();
+        assert!(
+            hazards.is_empty(),
+            "{rel} carries determinism hazards:\n{}",
+            hazards.join("\n")
+        );
+    }
+}

@@ -42,6 +42,7 @@ mod chip;
 mod config;
 mod corruption;
 mod device;
+mod drift;
 mod export;
 mod monitor;
 mod parametric;
@@ -61,6 +62,7 @@ pub use corruption::{
     CorruptionConfig, CorruptionInjector, FaultClass, FaultRecord, InjectionLedger,
 };
 pub use device::{DeviceParams, ALPHA, MOBILITY_TEMP_EXP, SUBTHRESHOLD_SWING, VTH_TEMP_COEFF};
+pub use drift::{DriftClass, DriftFault, DriftInjector, DriftLedger, DriftRecord};
 pub use export::write_campaign_csv;
 pub use monitor::{CpdMonitor, MonitorBank, RingOscillator};
 pub use parametric::{ParametricKind, ParametricProgram, ParametricTest};

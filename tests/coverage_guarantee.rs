@@ -349,6 +349,152 @@ fn pipeline_cqr_per_cell_coverage_meets_the_finite_sample_bound() {
 }
 
 #[test]
+fn adaptive_stream_holds_coverage_under_drift_where_static_cqr_fails() {
+    // The streaming robustness claim, pinned to the same exact law as the
+    // batch guarantees. After a mid-stream drift fault breaks
+    // exchangeability, the *frozen* production-test calibration has no
+    // guarantee left — its covered count demonstrably leaves the
+    // Beta-Binomial acceptance region its own calibration size implies. The
+    // adaptive layer (rolling window + ACI + recalibration ladder) must
+    // keep its post-drift covered count above an exact-law floor instead.
+    //
+    // Two honest caveats, reflected in how the bounds are used:
+    //   * Adaptivity itself breaks exchangeability, so no exact law applies
+    //     to the adaptive tally. The floor below is the lower acceptance of
+    //     the Beta-Binomial at the *smallest* calibration window the layer
+    //     is permitted to run with (`min_window`) — the widest, most
+    //     conservative law in its operating range — asserted per read point
+    //     and over the post-drift aggregate.
+    //   * Widened/recalibrating intervals legitimately over-cover, so only
+    //     lower bounds are asserted for the adaptive tally.
+    use cqr_vmin::conformal::{with_adaptive, AdaptiveConfig, LadderState};
+    use cqr_vmin::core::{run_stream, FeatureSet, StreamConfig};
+    use cqr_vmin::silicon::{Campaign, DatasetSpec, DriftClass, DriftFault, DriftInjector};
+
+    const STREAM_ALPHA: f64 = 0.2;
+    const ONSET: usize = 3;
+
+    // A larger fleet than `small()` so the per-read-point counts carry
+    // statistical power (120 chips → 48 evaluation chips per read point).
+    let spec = DatasetSpec {
+        chip_count: 120,
+        ..DatasetSpec::small()
+    };
+    let clean = Campaign::run(&spec, 17);
+
+    // Mirror streaming.rs's two seeded splits to recover the static
+    // calibration size exactly (fleet pool, then pool → proper/cal).
+    let n = clean.chip_count();
+    let fleet_train = ((0.6 * n as f64).ceil() as usize).clamp(1, n - 1);
+    let n_eval = n - fleet_train;
+    let n_proper = ((0.6 * fleet_train as f64).ceil() as usize).clamp(1, fleet_train - 1);
+    let ncal_static = fleet_train - n_proper;
+
+    // Moderate fleet-wide magnitudes: enough to force recalibration, far
+    // from the terminal Rejecting valve (which would stop issuing
+    // intervals; that regime is covered in failure_injection.rs).
+    let cases = [
+        (DriftClass::SuddenShift, 60.0, FeatureSet::Both),
+        (DriftClass::Ramp, 20.0, FeatureSet::Both),
+        (DriftClass::VarianceBlowup, 50.0, FeatureSet::Both),
+        (DriftClass::SensorDropout, 0.0, FeatureSet::OnChip),
+    ];
+
+    let min_window = AdaptiveConfig::for_alpha(STREAM_ALPHA).min_window;
+    let adaptive_rp_lo = binomial::lower_acceptance(
+        &binomial::covered_pmf(n_eval, min_window, STREAM_ALPHA),
+        DELTA,
+    );
+    let static_rp_lo = binomial::lower_acceptance(
+        &binomial::covered_pmf(n_eval, ncal_static, STREAM_ALPHA),
+        DELTA,
+    );
+
+    with_adaptive(true, || {
+        for (class, magnitude_mv, feature_set) in cases {
+            let (drifted, ledger) = DriftInjector::new(
+                vec![DriftFault {
+                    class,
+                    onset: ONSET,
+                    magnitude_mv,
+                    fraction: 1.0,
+                }],
+                3,
+            )
+            .unwrap()
+            .inject(&clean);
+            assert!(ledger.total() > 0, "{class}: nothing injected");
+
+            let cfg = StreamConfig {
+                feature_set,
+                ..StreamConfig::fast(STREAM_ALPHA)
+            };
+            let report = run_stream(&drifted, &cfg).unwrap();
+            assert_eq!(report.eval_chips, n_eval, "{class}: split drifted");
+            assert_ne!(
+                report.worst_state,
+                LadderState::Rejecting,
+                "{class}: magnitude {magnitude_mv} was meant to stay below the \
+                 terminal valve"
+            );
+
+            let post = &report.per_read_point[ONSET..];
+            let n_post = post.len();
+            assert!(n_post >= 2, "campaign too short to observe the drift");
+
+            // Adaptive: every post-drift read point stays above the
+            // conservative exact-law floor…
+            let mut adaptive_total = 0;
+            for stats in post {
+                assert_eq!(
+                    stats.issued, stats.n,
+                    "{class} rp {}: intervals were withheld",
+                    stats.read_point
+                );
+                assert!(
+                    stats.covered >= adaptive_rp_lo,
+                    "{class} rp {}: adaptive covered {}/{} under the \
+                     finite-sample floor {adaptive_rp_lo} \
+                     (BetaBin at ncal={min_window}, δ={DELTA:e})",
+                    stats.read_point,
+                    stats.covered,
+                    stats.issued,
+                );
+                adaptive_total += stats.covered;
+            }
+            // …and the post-drift aggregate clears the convolved floor,
+            // which is much tighter than the per-read-point one.
+            let agg_pmf = binomial::iid_sum_pmf(
+                &binomial::covered_pmf(n_eval, min_window, STREAM_ALPHA),
+                n_post,
+            );
+            let agg_lo = binomial::lower_acceptance(&agg_pmf, DELTA);
+            assert!(
+                adaptive_total >= agg_lo,
+                "{class}: adaptive covered {adaptive_total}/{} post-drift, \
+                 under the aggregate floor {agg_lo}",
+                n_post * n_eval,
+            );
+
+            // Static: the frozen calibration must demonstrably leave its own
+            // acceptance region at one or more post-drift read points —
+            // this is the exchangeability break the adaptive layer exists
+            // to absorb.
+            let static_failures = post
+                .iter()
+                .filter(|stats| stats.static_covered < static_rp_lo)
+                .count();
+            assert!(
+                static_failures >= 1,
+                "{class}: static CQR never left its acceptance region \
+                 (floor {static_rp_lo} at ncal={ncal_static}) — the drift \
+                 fault is too weak to demonstrate anything"
+            );
+        }
+    });
+}
+
+#[test]
 fn cqr_adapts_but_split_cp_does_not() {
     // Table I "adaptation to heteroscedasticity": CQR ✓, CP ✗.
     let (x_tr, y_tr) = draw(150, Noise::Hetero, 1);

@@ -154,6 +154,70 @@ fn thread_count_and_tracing_matrix_is_bit_identical() {
 }
 
 #[test]
+fn streaming_report_is_bit_identical_across_threads_and_tracing() {
+    // The streaming adaptive layer extends the matrix: a full drifted
+    // stream (fit, calibrate, drift detection, window flush,
+    // recalibration audit) must produce a byte-identical `StreamReport` at
+    // VMIN_THREADS ∈ {1, 2, 8} × tracing {on, off}. The report derives
+    // PartialEq over raw f64s, so equality here is bit equality for every
+    // width, α_t and q̂ the stream produced.
+    use cqr_vmin::conformal::with_adaptive;
+    use cqr_vmin::core::{run_stream, StreamConfig};
+    use cqr_vmin::silicon::{DriftClass, DriftFault, DriftInjector};
+
+    let clean = Campaign::run(&DatasetSpec::small(), 7);
+    let (drifted, _) = DriftInjector::new(
+        vec![DriftFault {
+            class: DriftClass::Ramp,
+            onset: 3,
+            magnitude_mv: 20.0,
+            fraction: 1.0,
+        }],
+        41,
+    )
+    .unwrap()
+    .inject(&clean);
+
+    with_adaptive(true, || {
+        let run = |threads: usize, trace_on: bool| {
+            let prev = vmin_trace::set_enabled(trace_on);
+            let (report, snap) = vmin_trace::with_collector(|| {
+                vmin_par::with_threads(threads, || {
+                    run_stream(&drifted, &StreamConfig::fast(0.2)).unwrap()
+                })
+            });
+            vmin_trace::set_enabled(prev);
+            (report, snap)
+        };
+
+        let (reference, ref_snap) = run(1, true);
+        assert!(
+            ref_snap
+                .counters
+                .keys()
+                .any(|k| k.starts_with("conformal.adaptive.")),
+            "the stream recorded no adaptive-layer counters"
+        );
+        for threads in [1usize, 2, 8] {
+            for trace_on in [true, false] {
+                let (report, snap) = run(threads, trace_on);
+                assert_eq!(
+                    report, reference,
+                    "stream report diverged at threads={threads} trace={trace_on}"
+                );
+                if trace_on {
+                    assert_eq!(
+                        snap.deterministic_view(),
+                        ref_snap.deterministic_view(),
+                        "stream metrics diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
 fn fit_cache_and_thread_count_matrix_is_bit_identical() {
     // PR 5 extends the matrix with the fit-plan cache dimension: the full
     // simulate → assemble → CQR-XGBoost pipeline must be byte-identical at

@@ -1,10 +1,13 @@
 //! Failure-injection tests: degenerate, hostile and boundary inputs must
 //! surface as typed errors (or documented panics), never as silent garbage.
 
-use cqr_vmin::conformal::{conformal_quantile, Cqr, SplitConformal};
+use cqr_vmin::conformal::{
+    conformal_quantile, with_adaptive, CalibrationError, ConformalError, Cqr, LadderState,
+    SplitConformal,
+};
 use cqr_vmin::core::{
-    assemble_dataset, sanitize_campaign, DegradationPolicy, FeatureSet, ModelConfig, PointModel,
-    RegionMethod, VminPredictor,
+    assemble_dataset, run_stream, sanitize_campaign, DegradationPolicy, FeatureSet, ModelConfig,
+    PointModel, RegionMethod, StreamConfig, StreamReport, VminPredictor,
 };
 use cqr_vmin::data::hygiene::impute_missing;
 use cqr_vmin::data::{Dataset, HygieneError, Standardizer};
@@ -13,7 +16,10 @@ use cqr_vmin::models::{
     GaussianProcess, GradientBoost, LinearRegression, Loss, NeuralNet, ObliviousBoost,
     QuantileLinear, Regressor,
 };
-use cqr_vmin::silicon::{Campaign, CorruptionConfig, CorruptionInjector, DatasetSpec};
+use cqr_vmin::silicon::{
+    Campaign, CorruptionConfig, CorruptionInjector, DatasetSpec, DriftClass, DriftFault,
+    DriftInjector,
+};
 
 fn tiny_xy() -> (Matrix, Vec<f64>) {
     let x = Matrix::from_rows(&(0..12).map(|i| vec![i as f64]).collect::<Vec<_>>()).unwrap();
@@ -231,6 +237,141 @@ fn censored_rows_are_excluded_from_calibration_data() {
     assert!(log.censored_excluded > 0);
     assert!(ds.targets().iter().all(|&t| t < ceiling - 1e-9));
     assert_eq!(ds.n_samples(), raw.n_samples() - log.censored_excluded);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming drift faults: each canonical mid-stream fault class must land
+// the adaptive layer's degradation ladder in its documented state (see
+// DESIGN.md §11), bit-identically under different thread counts.
+// ---------------------------------------------------------------------------
+
+/// Streams one drifted campaign under `VMIN_THREADS ∈ {1, 2}` and asserts
+/// the two reports are identical before returning one of them.
+fn stream_drifted(
+    class: DriftClass,
+    onset: usize,
+    magnitude_mv: f64,
+    feature_set: FeatureSet,
+) -> StreamReport {
+    let clean = Campaign::run(&DatasetSpec::small(), 17);
+    let (drifted, ledger) = DriftInjector::new(
+        vec![DriftFault {
+            class,
+            onset,
+            magnitude_mv,
+            fraction: 1.0,
+        }],
+        3,
+    )
+    .unwrap()
+    .inject(&clean);
+    assert!(ledger.total() > 0, "{class}: nothing injected");
+    let cfg = StreamConfig {
+        feature_set,
+        ..StreamConfig::fast(0.2)
+    };
+    let serial = vmin_par::with_threads(1, || run_stream(&drifted, &cfg).unwrap());
+    let par = vmin_par::with_threads(2, || run_stream(&drifted, &cfg).unwrap());
+    assert_eq!(serial, par, "{class}: stream depends on thread count");
+    serial
+}
+
+#[test]
+fn catastrophic_sudden_shift_lands_in_rejecting() {
+    with_adaptive(true, || {
+        // A fleet-wide 2 V jump: no recalibration can rescue this; the
+        // terminal valve must close and stay closed.
+        let report = stream_drifted(DriftClass::SuddenShift, 3, 2000.0, FeatureSet::Both);
+        assert_eq!(report.worst_state, LadderState::Rejecting);
+        assert_eq!(report.final_state, LadderState::Rejecting);
+        // Graceful degradation: post-onset observations are consumed but no
+        // interval is certified.
+        for stats in &report.per_read_point[4..] {
+            assert_eq!(stats.issued, 0, "rp {}", stats.read_point);
+            assert_eq!(stats.rejected, stats.n);
+        }
+        // Pre-onset read points were healthy.
+        assert_eq!(report.per_read_point[0].rejected, 0);
+    });
+}
+
+#[test]
+fn ramp_drift_forces_recalibration_and_recovers() {
+    with_adaptive(true, || {
+        let report = stream_drifted(DriftClass::Ramp, 3, 20.0, FeatureSet::Both);
+        assert_eq!(report.worst_state, LadderState::Recalibrating);
+        assert_ne!(report.final_state, LadderState::Rejecting);
+        // The point of recalibrating: at the last read point the adaptive
+        // layer still covers while the frozen calibration has collapsed.
+        let last = report.per_read_point.last().unwrap();
+        assert!(
+            last.covered > last.static_covered,
+            "adaptive {} vs static {} at rp {}",
+            last.covered,
+            last.static_covered,
+            last.read_point
+        );
+    });
+}
+
+#[test]
+fn variance_blowup_escalates_through_dispersion_statistic() {
+    with_adaptive(true, || {
+        // A pure noise blow-up barely moves the mean score; only the
+        // dispersion half of the drift statistic can catch it.
+        let report = stream_drifted(DriftClass::VarianceBlowup, 3, 60.0, FeatureSet::Both);
+        assert_eq!(report.worst_state, LadderState::Recalibrating);
+        assert_ne!(report.final_state, LadderState::Rejecting);
+        assert!(!report.transitions.is_empty());
+    });
+}
+
+#[test]
+fn sensor_dropout_escalates_an_onchip_model_beyond_its_clean_baseline() {
+    with_adaptive(true, || {
+        // Frozen monitors only hurt a model that actually *uses* them: under
+        // an on-chip-only feature set, stale readings push the ladder to a
+        // window rebuild, beyond anything the clean stream provokes.
+        let report = stream_drifted(DriftClass::SensorDropout, 3, 0.0, FeatureSet::OnChip);
+        assert_eq!(report.worst_state, LadderState::Recalibrating);
+
+        let clean = Campaign::run(&DatasetSpec::small(), 17);
+        let cfg = StreamConfig {
+            feature_set: FeatureSet::OnChip,
+            ..StreamConfig::fast(0.2)
+        };
+        let baseline = run_stream(&clean, &cfg).unwrap();
+        assert!(
+            baseline.worst_state < LadderState::Recalibrating,
+            "clean on-chip stream already reached {}",
+            baseline.worst_state
+        );
+    });
+}
+
+#[test]
+fn adaptive_calibrator_surfaces_typed_calibration_errors() {
+    use cqr_vmin::conformal::{AdaptiveCalibrator, AdaptiveConfig, PredictionInterval};
+    // Empty and all-non-finite initial windows are typed, not panics.
+    let cfg = AdaptiveConfig::for_alpha(0.2);
+    assert_eq!(
+        AdaptiveCalibrator::new(&[], cfg.clone()).unwrap_err(),
+        ConformalError::Calibration(CalibrationError::EmptyWindow)
+    );
+    assert!(matches!(
+        AdaptiveCalibrator::new(&[f64::NAN; 20], cfg.clone()).unwrap_err(),
+        ConformalError::Calibration(CalibrationError::NonFiniteScores { .. })
+    ));
+    // A malformed telemetry packet mid-stream is typed too and leaves the
+    // window untouched.
+    let scores: Vec<f64> = (0..30).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut cal = AdaptiveCalibrator::new(&scores, cfg).unwrap();
+    assert!(matches!(
+        cal.observe(PredictionInterval::new(0.0, 1.0), f64::NAN)
+            .unwrap_err(),
+        ConformalError::Calibration(CalibrationError::NonFiniteScores { .. })
+    ));
+    assert_eq!(cal.window_len(), 30);
 }
 
 #[test]
