@@ -33,9 +33,12 @@ echo "==> tier-1 again, tracing disabled (VMIN_TRACE=0)"
 VMIN_TRACE=0 cargo test -q
 
 echo "==> vmin-trace report: schema + cross-thread-count counter identity"
-VMIN_THREADS=1 VMIN_TRACE_JSON=target/trace-t1.json \
+# Histograms pinned off: this leg asserts the fit-plan scratch counters
+# below, which only the exact-scan path exercises. The histogram leg
+# further down covers the VMIN_HIST=1 counters with its own trace export.
+VMIN_HIST=0 VMIN_THREADS=1 VMIN_TRACE_JSON=target/trace-t1.json \
     cargo run -q --release -p vmin-bench --bin trace_report
-VMIN_THREADS=8 VMIN_TRACE_JSON=target/trace-t8.json \
+VMIN_HIST=0 VMIN_THREADS=8 VMIN_TRACE_JSON=target/trace-t8.json \
     cargo run -q --release -p vmin-bench --bin trace_report
 for f in target/trace-t1.json target/trace-t8.json; do
     test -s "$f"
@@ -52,7 +55,7 @@ for kind in counter gauge histogram; do
         || { echo "vmin-trace $kind section differs between VMIN_THREADS=1 and 8"; exit 1; }
 done
 
-echo "==> bench smoke: par_speedup + fit_cache write target/BENCH_PR5.json"
+echo "==> bench smoke: par_speedup + fit_cache + fit_hist write target/BENCH_PR5.json"
 # Absolute path: the bench binary's CWD is the package dir, not the repo root.
 VMIN_BENCH_JSON="$PWD/target/BENCH_PR5.json" VMIN_BENCH_SAMPLES=3 \
     cargo bench -p vmin-bench --bench par_speedup
@@ -68,6 +71,13 @@ grep -q '"group": "fit_cache"' target/BENCH_PR5.json
 grep -q '"id": "gbt_fit_uncached"' target/BENCH_PR5.json
 grep -q '"id": "gbt_fit_cached"' target/BENCH_PR5.json
 grep -q '"id": "cqr_xgb_region_cell_cached"' target/BENCH_PR5.json
+# The fit-hist group records exact-vs-binned pairs (PR 7 tentpole).
+grep -q '"group": "fit_hist"' target/BENCH_PR5.json
+grep -q '"id": "catboost_fit_exact"' target/BENCH_PR5.json
+grep -q '"id": "catboost_fit_hist"' target/BENCH_PR5.json
+grep -q '"id": "gbt_fit_hist"' target/BENCH_PR5.json
+grep -q '"id": "cqr_xgb_region_cell_hist"' target/BENCH_PR5.json
+grep -q '"id": "cqr_catboost_region_cell_hist"' target/BENCH_PR5.json
 
 echo "==> fit-plan cache: counters present + interval exactness smoke"
 # The trace_report workload routes through GBT-family fits, so the cache
@@ -84,6 +94,29 @@ VMIN_FITPLAN=1 cargo run -q --release -p vmin-bench --bin fit_cache_smoke \
 test -s target/fit-cache-off.txt
 diff target/fit-cache-off.txt target/fit-cache-on.txt \
     || { echo "fit-plan cache changed interval bits"; exit 1; }
+
+echo "==> histogram split leg: thread invariance, kill switch, trace counters"
+# The binned path must be bit-identical under any thread count.
+VMIN_HIST=1 VMIN_THREADS=1 VMIN_TRACE_JSON=target/trace-hist.json \
+    cargo run -q --release -p vmin-bench --bin hist_smoke > target/hist-t1.txt
+VMIN_HIST=1 VMIN_THREADS=8 \
+    cargo run -q --release -p vmin-bench --bin hist_smoke > target/hist-t8.txt
+test -s target/hist-t1.txt
+diff target/hist-t1.txt target/hist-t8.txt \
+    || { echo "binned intervals differ between VMIN_THREADS=1 and 8"; exit 1; }
+# The kill switch must actually change the fitted models (the binary also
+# self-checks that binned stays numerically close to exact in-process).
+VMIN_HIST=0 VMIN_THREADS=1 \
+    cargo run -q --release -p vmin-bench --bin hist_smoke > target/hist-off.txt
+if diff -q target/hist-t1.txt target/hist-off.txt > /dev/null; then
+    echo "VMIN_HIST=0 output is identical to the binned run"; exit 1
+fi
+# The histogram kernels' deterministic counters must reach the trace report.
+test -s target/trace-hist.json
+grep -q '"models.hist.tree_fits"' target/trace-hist.json
+grep -q '"models.hist.oblivious_fits"' target/trace-hist.json
+grep -q '"models.hist.level_searches"' target/trace-hist.json
+grep -q '"models.hist.child_subtracted"' target/trace-hist.json
 
 echo "==> streaming drift leg: thread invariance, kill switch, trace counters"
 # The drifted stream must be byte-identical under any thread count.

@@ -13,9 +13,23 @@
 //! matrix (156 chips, full feature set) and a whole region cell, with the
 //! fit-plan cache pinned off (`_uncached`) and on (`_cached`) via
 //! `vmin_models::with_fit_cache`. Outputs are byte-identical either way;
-//! only the time should move.
+//! only the time should move. Histograms are pinned off here so the group
+//! keeps measuring the exact-scan path the cache was built for.
 //!
-//! Run: `VMIN_BENCH_JSON=BENCH_PR5.json cargo bench -p vmin-bench --bench par_speedup`
+//! The `fit_hist` group (PR 7) times the same Table III fits with the
+//! histogram-binned split path pinned off (`_exact`) and on (`_hist`) via
+//! `vmin_models::with_histograms` — the exact/binned pairs behind
+//! `BENCH_PR7.json`. Unlike the fit-plan cache these are different
+//! estimators (quantile-binned candidate thresholds), so only times are
+//! comparable, not output bits.
+//!
+//! After the groups run in bench mode, `assert_small_input_thread2_sanity`
+//! re-reads the recorded minima and fails the process if the 2-thread rows
+//! of the small workloads regress materially past their 1-thread rows —
+//! the serial-fallback thresholds exist precisely to keep thread handoff
+//! off tiny inputs.
+//!
+//! Run: `VMIN_BENCH_JSON=BENCH_PR7.json cargo bench -p vmin-bench --bench par_speedup`
 
 use vmin_bench::harness::Criterion;
 use vmin_bench::{criterion_group, criterion_main};
@@ -97,12 +111,16 @@ fn bench_fit_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("fit_cache");
     group.sample_size(10);
 
+    // Lock order: the fit-cache guard is taken before the histogram guard
+    // everywhere in the workspace (matches the equivalence tests).
     let gbt_fit = |cache_on: bool| {
         vmin_models::with_fit_cache(cache_on, || {
-            let mut m = GradientBoost::new(Loss::Pinball(0.95));
-            m.fit(&x, &y)
-                .unwrap_or_else(|e| die(&format!("gbt fit: {e}")));
-            m
+            vmin_models::with_histograms(false, || {
+                let mut m = GradientBoost::new(Loss::Pinball(0.95));
+                m.fit(&x, &y)
+                    .unwrap_or_else(|e| die(&format!("gbt fit: {e}")));
+                m
+            })
         })
     };
     group.bench_function("gbt_fit_uncached", |bch| bch.iter(|| gbt_fit(false)));
@@ -110,10 +128,12 @@ fn bench_fit_cache(c: &mut Criterion) {
 
     let catboost_fit = |cache_on: bool| {
         vmin_models::with_fit_cache(cache_on, || {
-            let mut m = ObliviousBoost::new(Loss::Pinball(0.95));
-            m.fit(&x, &y)
-                .unwrap_or_else(|e| die(&format!("catboost fit: {e}")));
-            m
+            vmin_models::with_histograms(false, || {
+                let mut m = ObliviousBoost::new(Loss::Pinball(0.95));
+                m.fit(&x, &y)
+                    .unwrap_or_else(|e| die(&format!("catboost fit: {e}")));
+                m
+            })
         })
     };
     group.bench_function("catboost_fit_uncached", |bch| {
@@ -123,8 +143,10 @@ fn bench_fit_cache(c: &mut Criterion) {
 
     let region_cell = |cache_on: bool| {
         vmin_models::with_fit_cache(cache_on, || {
-            run_region_cell_on(&ds, RegionMethod::Cqr(PointModel::Xgboost), &cfg)
-                .unwrap_or_else(|e| die(&format!("cqr xgb cell: {e}")))
+            vmin_models::with_histograms(false, || {
+                run_region_cell_on(&ds, RegionMethod::Cqr(PointModel::Xgboost), &cfg)
+                    .unwrap_or_else(|e| die(&format!("cqr xgb cell: {e}")))
+            })
         })
     };
     group.bench_function("cqr_xgb_region_cell_uncached", |bch| {
@@ -137,6 +159,116 @@ fn bench_fit_cache(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fit_hist(c: &mut Criterion) {
+    // Same Table III workload as `fit_cache`, but sweeping the histogram
+    // switch instead of the plan cache. The fit-plan cache keeps its
+    // ambient default (on), which is the production configuration: the
+    // binned path reuses the plan's memoized bin tables, the exact path
+    // its sorted-column blocks.
+    let campaign = Campaign::run(&DatasetSpec::default(), 7);
+    let ds = assemble_dataset(&campaign, 1, 1, FeatureSet::Both)
+        .unwrap_or_else(|e| die(&format!("assemble table3 cell: {e}")));
+    let x = ds.features().clone();
+    let y = ds.targets().to_vec();
+    let cfg = ExperimentConfig::fast();
+
+    let mut group = c.benchmark_group("fit_hist");
+    group.sample_size(10);
+
+    let gbt_fit = |hist_on: bool| {
+        vmin_models::with_histograms(hist_on, || {
+            let mut m = GradientBoost::new(Loss::Pinball(0.95));
+            m.fit(&x, &y)
+                .unwrap_or_else(|e| die(&format!("gbt fit: {e}")));
+            m
+        })
+    };
+    group.bench_function("gbt_fit_exact", |bch| bch.iter(|| gbt_fit(false)));
+    group.bench_function("gbt_fit_hist", |bch| bch.iter(|| gbt_fit(true)));
+
+    let catboost_fit = |hist_on: bool| {
+        vmin_models::with_histograms(hist_on, || {
+            let mut m = ObliviousBoost::new(Loss::Pinball(0.95));
+            m.fit(&x, &y)
+                .unwrap_or_else(|e| die(&format!("catboost fit: {e}")));
+            m
+        })
+    };
+    group.bench_function("catboost_fit_exact", |bch| bch.iter(|| catboost_fit(false)));
+    group.bench_function("catboost_fit_hist", |bch| bch.iter(|| catboost_fit(true)));
+
+    let region_cell = |hist_on: bool| {
+        vmin_models::with_histograms(hist_on, || {
+            run_region_cell_on(&ds, RegionMethod::Cqr(PointModel::Xgboost), &cfg)
+                .unwrap_or_else(|e| die(&format!("cqr xgb cell: {e}")))
+        })
+    };
+    group.bench_function("cqr_xgb_region_cell_exact", |bch| {
+        bch.iter(|| region_cell(false))
+    });
+    group.bench_function("cqr_xgb_region_cell_hist", |bch| {
+        bch.iter(|| region_cell(true))
+    });
+
+    let region_cell_cb = |hist_on: bool| {
+        vmin_models::with_histograms(hist_on, || {
+            run_region_cell_on(&ds, RegionMethod::Cqr(PointModel::CatBoost), &cfg)
+                .unwrap_or_else(|e| die(&format!("cqr catboost cell: {e}")))
+        })
+    };
+    group.bench_function("cqr_catboost_region_cell_exact", |bch| {
+        bch.iter(|| region_cell_cb(false))
+    });
+    group.bench_function("cqr_catboost_region_cell_hist", |bch| {
+        bch.iter(|| region_cell_cb(true))
+    });
+
+    group.finish();
+}
+
+/// Serial-fallback regression guard (PR 7): `BENCH_PR5.json` showed the
+/// 2-thread rows of the two smallest workloads running *slower* than their
+/// 1-thread rows — thread handoff overhead on inputs below the profitable
+/// size. After raising the fallback thresholds, the 2-thread minima must
+/// stay within a noise margin of the 1-thread minima. Runs only in bench
+/// mode (smoke mode records a single untrustworthy sample) and only over
+/// ids that were actually recorded.
+fn assert_small_input_thread2_sanity(c: &mut Criterion) {
+    if !c.is_bench_mode() {
+        return;
+    }
+    let min_of = |id: &str| {
+        c.records()
+            .iter()
+            .find(|r| r.group == "par_speedup" && r.id == id)
+            .map(|r| r.min_ns)
+    };
+    let checks = [
+        ("matmul_threads1", "matmul_threads2", 1.6),
+        (
+            "table3_region_cell_threads1",
+            "table3_region_cell_threads2",
+            1.8,
+        ),
+    ];
+    for (serial_id, t2_id, max_ratio) in checks {
+        let (Some(serial), Some(t2)) = (min_of(serial_id), min_of(t2_id)) else {
+            continue;
+        };
+        if serial == 0 {
+            continue;
+        }
+        let ratio = t2 as f64 / serial as f64;
+        if ratio > max_ratio {
+            die(&format!(
+                "{t2_id} min {t2} ns is {ratio:.2}x {serial_id} min {serial} ns \
+                 (limit {max_ratio}x): serial fallback thresholds regressed"
+            ));
+        }
+        eprintln!("thread2 sanity: {t2_id}/{serial_id} = {ratio:.2}x (limit {max_ratio}x)");
+    }
+}
+
 /// Bench-binary failure exit without panic machinery (keeps the
 /// `vmin-lint` panic ratchet flat).
 fn die(msg: &str) -> ! {
@@ -144,5 +276,11 @@ fn die(msg: &str) -> ! {
     std::process::exit(1)
 }
 
-criterion_group!(benches, bench_par_speedup, bench_fit_cache);
+criterion_group!(
+    benches,
+    bench_par_speedup,
+    bench_fit_cache,
+    bench_fit_hist,
+    assert_small_input_thread2_sanity,
+);
 criterion_main!(benches);

@@ -21,7 +21,15 @@ const ROW_BLOCK: usize = 16;
 
 /// Minimum number of row blocks before worker threads are spawned; below
 /// this the kernels run serially on the calling thread.
-const MIN_PAR_BLOCKS: usize = 2;
+///
+/// Raised from 2 after the PR 5 thread sweep (`BENCH_PR5.json`) showed the
+/// 2-thread rows of the small workloads (`matmul_threads2`,
+/// `table3_region_cell_threads2`) running *slower* than their 1-thread
+/// rows: at 2 blocks the spawn/join handoff costs more than the ~160-row
+/// matmuls it splits. 16 blocks (256 output rows) is the first size where
+/// splitting reliably pays for itself; the `par_speedup` bench enforces
+/// the threads2/threads1 ratio as a regression gate.
+const MIN_PAR_BLOCKS: usize = 16;
 
 /// Dense row-major matrix of `f64`.
 ///

@@ -139,6 +139,10 @@ fn streaming_modules_are_free_of_determinism_hazards() {
         ("vmin-conformal", "crates/vmin-conformal/src/adaptive.rs"),
         ("vmin-silicon", "crates/vmin-silicon/src/drift.rs"),
         ("vmin-core", "crates/vmin-core/src/streaming.rs"),
+        // The histogram kernel (PR 7) is hot-loop code with the same
+        // temptations (timing the kernel, hashing bin keys, float-compare
+        // shortcuts): pin it to zero determinism hazards too.
+        ("vmin-models", "crates/vmin-models/src/hist.rs"),
     ];
     for (krate, rel) in modules {
         let path = workspace_root().join(rel);

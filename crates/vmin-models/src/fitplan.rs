@@ -36,8 +36,11 @@ use crate::traits::{ModelError, Result};
 use vmin_linalg::Matrix;
 
 /// Minimum features before plan construction spawns feature workers — the
-/// same threshold the boosters use for their per-feature passes.
-const PAR_MIN_FEATURES: usize = 4;
+/// same threshold the boosters use for their per-feature passes. Raised
+/// above the paper-scale feature count (6): BENCH_PR5.json showed threads2
+/// *slower* than threads1 on small inputs, so microsecond-sized per-feature
+/// passes stay serial and the campaign/fold level carries the parallelism.
+const PAR_MIN_FEATURES: usize = 8;
 
 /// The largest representable border count: `bin_of` stores bin indices as
 /// `u8`, and a feature with `B` borders produces bins `0..=B`.
@@ -119,6 +122,8 @@ pub fn validate_border_count(border_count: usize) -> Result<()> {
 pub(crate) fn borders_from_sorted_column(mut col: Vec<f64>, border_count: usize) -> Vec<f64> {
     col.dedup();
     if col.len() <= 1 {
+        // Constant column: no candidate thresholds at all.
+        vmin_trace::counter_add("models.fitplan.borders_effective", 0);
         return Vec::new();
     }
     let count = border_count.min(col.len() - 1);
@@ -129,7 +134,21 @@ pub(crate) fn borders_from_sorted_column(mut col: Vec<f64>, border_count: usize)
         let hi = (lo + 1).min(col.len() - 1);
         borders.push(0.5 * (col[lo] + col[hi]));
     }
+    // Midpoints of distinct quantile positions can still collide — either
+    // because two positions straddle the same value pair (low-cardinality
+    // columns) or because `0.5 * (a + b)` rounds identically for adjacent
+    // pairs — so this dedup can silently shrink the bin count below
+    // `count`. Surface both numbers: `borders_effective` is what split
+    // search actually scans, `borders_collapsed` how many requested
+    // borders the dedup swallowed.
     borders.dedup();
+    vmin_trace::counter_add("models.fitplan.borders_effective", borders.len() as u64);
+    if borders.len() < count {
+        vmin_trace::counter_add(
+            "models.fitplan.borders_collapsed",
+            (count - borders.len()) as u64,
+        );
+    }
     borders
 }
 
@@ -547,5 +566,60 @@ mod tests {
         let a = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
         let b = Matrix::from_rows(&[vec![-0.0], vec![1.0]]).unwrap();
         assert_ne!(fingerprint_of(&a), fingerprint_of(&b));
+    }
+
+    #[test]
+    fn constant_column_yields_no_borders() {
+        let borders = borders_from_sorted_column(vec![2.5; 10], 32);
+        assert!(borders.is_empty(), "constant column must have no borders");
+        assert!(borders_from_sorted_column(vec![], 32).is_empty());
+        assert!(borders_from_sorted_column(vec![1.0], 32).is_empty());
+    }
+
+    #[test]
+    fn two_value_column_yields_single_midpoint_border() {
+        // Any requested count collapses to the one distinct-value boundary.
+        for requested in [1usize, 4, 32, 255] {
+            let col = vec![1.0, 1.0, 1.0, 3.0, 3.0];
+            let borders = borders_from_sorted_column(col, requested);
+            assert_eq!(
+                borders,
+                vec![2.0],
+                "two-value column must keep exactly the midpoint (requested {requested})"
+            );
+        }
+    }
+
+    #[test]
+    fn colliding_midpoints_are_deduped_and_counted() {
+        // Three adjacent values whose *distinct* quantile midpoints round to
+        // the same f64: midpoint(2−2⁻⁵², 2) and midpoint(2, 2+2⁻⁵¹) both
+        // evaluate to exactly 2.0, so 2 requested borders collapse to 1 —
+        // the silent shrink the `borders_collapsed` counter now surfaces.
+        let lo = 2.0 - f64::EPSILON;
+        let hi = 2.0 + 2.0 * f64::EPSILON;
+        assert!(lo < 2.0 && 2.0 < hi);
+        let col = vec![lo, 2.0, hi];
+        assert_eq!(0.5 * (lo + 2.0), 2.0);
+        assert_eq!(0.5 * (2.0 + hi), 2.0);
+        let prev = vmin_trace::set_enabled(true);
+        let (borders, snap) = vmin_trace::with_collector(|| borders_from_sorted_column(col, 2));
+        vmin_trace::set_enabled(prev);
+        assert_eq!(borders, vec![2.0], "colliding midpoints must dedup");
+        assert_eq!(snap.counters["models.fitplan.borders_effective"], 1);
+        assert_eq!(snap.counters["models.fitplan.borders_collapsed"], 1);
+    }
+
+    #[test]
+    fn effective_border_counter_tracks_full_binning() {
+        let prev = vmin_trace::set_enabled(true);
+        let (binned, snap) =
+            vmin_trace::with_collector(|| BinnedDataset::compute(&toy_matrix(), 32).unwrap());
+        vmin_trace::set_enabled(prev);
+        let total: usize = binned.borders.iter().map(Vec::len).sum();
+        assert_eq!(
+            snap.counters["models.fitplan.borders_effective"], total as u64,
+            "counter must equal the borders split search actually scans"
+        );
     }
 }

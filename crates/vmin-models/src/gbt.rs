@@ -5,7 +5,8 @@
 //! pinball loss, so the same booster serves "XGBoost" point prediction and
 //! "QR XGBoost" quantile regression.
 
-use crate::fitplan::{fit_cache_enabled, FitPlan, TreeScratch};
+use crate::fitplan::{fit_cache_enabled, BinnedDataset, FitPlan, TreeScratch};
+use crate::hist::HistBinned;
 use crate::traits::{validate_training, Loss, ModelError, Regressor, Result};
 use crate::tree::{GradientTree, TreeParams};
 use vmin_linalg::Matrix;
@@ -118,9 +119,33 @@ impl GradientBoost {
         let all_rows: Vec<usize> = (0..n).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed);
 
+        // Histogram path (PR 7): one bin table serves every round's tree.
+        // Gated on the same full-row-set condition as the plan path but
+        // *independent* of the fit-plan flag — with the cache off the bins
+        // are computed directly by the identical `fitplan` helpers, so the
+        // `VMIN_FITPLAN` toggle stays behavior-invisible under histograms.
+        // Boundaries are capped by the row count (`gbt_border_cap`): with
+        // fewer rows than bins the per-bin sweeps cost more than they save.
+        let hist_binned: Option<HistBinned> = if crate::hist::hist_enabled()
+            && self.params.subsample >= 1.0
+            && n <= u32::MAX as usize
+        {
+            let cap = crate::hist::gbt_border_cap(n);
+            let binned = match plan {
+                Some(p) => p.binned(x, cap)?,
+                None => std::sync::Arc::new(BinnedDataset::compute(x, cap)?),
+            };
+            Some(HistBinned::build(x, &binned))
+        } else {
+            None
+        };
+        // Node histograms recycle across nodes and rounds through this pool.
+        let mut hist_pool: Vec<Vec<crate::hist::FeatHist>> = Vec::new();
         // One scratch serves every planned round; reused rounds are counted.
         let mut planned: Option<(&FitPlan, TreeScratch)> = match plan {
-            Some(p) if self.params.subsample >= 1.0 => Some((p, TreeScratch::for_plan(p))),
+            Some(p) if self.params.subsample >= 1.0 && hist_binned.is_none() => {
+                Some((p, TreeScratch::for_plan(p)))
+            }
             _ => None,
         };
         // Subsample row buffer, reused across rounds (`clone_from` restores
@@ -146,7 +171,9 @@ impl GradientBoost {
                     *h = loss.hessian(y[i0 + di], preds[i0 + di]);
                 }
             });
-            let tree = if let Some((p, scratch)) = planned.as_mut() {
+            let tree = if let Some(hb) = hist_binned.as_ref() {
+                GradientTree::fit_hist(x, &grad, &hess, &self.params.tree, hb, &mut hist_pool)
+            } else if let Some((p, scratch)) = planned.as_mut() {
                 if round > 0 {
                     vmin_trace::counter_add("models.fitplan.scratch_reuse", 1);
                 }

@@ -43,6 +43,7 @@ mod ensemble;
 mod fitplan;
 mod gbt;
 mod gp;
+mod hist;
 mod linear;
 mod nn;
 mod oblivious;
@@ -59,6 +60,7 @@ pub use fitplan::{
 };
 pub use gbt::{GradientBoost, GradientBoostParams};
 pub use gp::{GaussianProcess, RbfKernel};
+pub use hist::{hist_enabled, set_hist_enabled, with_histograms};
 pub use linear::LinearRegression;
 pub use nn::{NeuralNet, NeuralNetParams};
 pub use oblivious::{ObliviousBoost, ObliviousBoostParams};

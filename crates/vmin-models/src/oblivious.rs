@@ -14,8 +14,11 @@ use crate::traits::{validate_training, Loss, ModelError, Regressor, Result};
 use vmin_linalg::Matrix;
 
 /// Minimum features before the per-level split search spawns feature
-/// workers (border computation and pre-binning live in `fitplan`).
-const PAR_MIN_FEATURES: usize = 4;
+/// workers (border computation and pre-binning live in `fitplan`). Raised
+/// above the paper-scale feature count (6): BENCH_PR5.json showed threads2
+/// *slower* than threads1 on small inputs, so microsecond-sized per-feature
+/// scans stay serial and the campaign/fold level carries the parallelism.
+const PAR_MIN_FEATURES: usize = 8;
 
 /// Rows per parallel work unit for element-wise per-round passes.
 const ROUND_ROW_BLOCK: usize = 256;
@@ -153,6 +156,9 @@ impl ObliviousBoost {
     /// code (`fitplan` helpers), so cached and uncached fits are
     /// byte-identical.
     fn fit_inner(&mut self, x: &Matrix, y: &[f64], binned: &BinnedDataset) -> Result<()> {
+        if crate::hist::hist_enabled() {
+            return self.fit_inner_hist(x, y, binned);
+        }
         let n = x.rows();
         self.n_features = x.cols();
         self.base_score = if self.params.boost_from_mean {
@@ -315,6 +321,106 @@ impl ObliviousBoost {
                 }
             });
             self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    /// The histogram-binned boosting loop (PR 7): rows live in a leaf-major
+    /// permutation ([`crate::hist::ObliviousHistState`]) so each level scan
+    /// touches only occupied bins, per-leaf Hessian totals collapse to row
+    /// counts (both losses have unit Hessians — the exhaustive match below
+    /// forces a revisit if that ever changes), leaf denominators come from
+    /// a `1/(count + l2)` table, and right-side totals derive from the
+    /// parent by subtraction. Levels, leaf values (same Newton / CatBoost
+    /// "Exact" quantile estimators), and tie rules mirror [`fit_inner`];
+    /// outputs are *not* bit-identical to the exact scan (different
+    /// summation shapes) but are bit-identical to themselves at any thread
+    /// count. `VMIN_HIST=0` routes back to the exact loop.
+    fn fit_inner_hist(&mut self, x: &Matrix, y: &[f64], binned: &BinnedDataset) -> Result<()> {
+        match self.loss {
+            Loss::Squared | Loss::Pinball(_) => {}
+        }
+        let n = x.rows();
+        self.n_features = x.cols();
+        self.base_score = if self.params.boost_from_mean {
+            vmin_linalg::mean(y)
+        } else {
+            self.loss.optimal_constant(y)
+        };
+        self.trees.clear();
+
+        let _span = vmin_trace::span("models.hist.oblivious_fit");
+        vmin_trace::counter_add("models.oblivious.fits", 1);
+        vmin_trace::counter_add("models.hist.oblivious_fits", 1);
+        vmin_trace::counter_add("models.oblivious.rounds", self.params.n_rounds as u64);
+        let l2 = self.params.l2_leaf_reg;
+        let lr = self.params.learning_rate;
+        let recip: Vec<f64> = (0..=n).map(|c| 1.0 / (c as f64 + l2)).collect();
+        let mut preds = vec![self.base_score; n];
+        let mut grad = vec![0.0; n];
+        let mut state = crate::hist::ObliviousHistState::new(n);
+
+        let loss = self.loss;
+        for _ in 0..self.params.n_rounds {
+            vmin_par::par_chunks_mut(&mut grad, ROUND_ROW_BLOCK, 2, |bi, chunk| {
+                let i0 = bi * ROUND_ROW_BLOCK;
+                for (di, g) in chunk.iter_mut().enumerate() {
+                    *g = loss.gradient(y[i0 + di], preds[i0 + di]);
+                }
+            });
+            state.reset(&grad);
+            let mut levels: Vec<(usize, f64)> = Vec::with_capacity(self.params.depth);
+            for _ in 0..self.params.depth {
+                let Some((feature, k)) = state.best_level_split(binned, &grad, &recip) else {
+                    break; // no usable borders (all features constant)
+                };
+                state.apply_split(&binned.bin_of[feature], k, &grad);
+                levels.push((feature, binned.borders[feature][k]));
+            }
+            // Leaf values straight from the leaf-major blocks (ascending
+            // row order inside each block, matching the exact loop's
+            // per-leaf enumeration); block ids bit-reverse into
+            // `leaf_index` positions.
+            let d_levels = levels.len();
+            let n_leaves = 1usize << d_levels;
+            let mut leaf_values = vec![0.0; n_leaves];
+            match loss {
+                Loss::Squared => {
+                    for block in 0..n_leaves {
+                        let rows = state.block(block);
+                        let g: f64 = rows.iter().map(|&i| grad[i as usize]).sum();
+                        leaf_values[crate::hist::bit_reverse(block, d_levels)] =
+                            -g / (rows.len() as f64 + l2);
+                    }
+                }
+                Loss::Pinball(q) => {
+                    for block in 0..n_leaves {
+                        let rows = state.block(block);
+                        if rows.is_empty() {
+                            continue; // empty leaf keeps value 0.0
+                        }
+                        let r: Vec<f64> = rows
+                            .iter()
+                            .map(|&i| y[i as usize] - preds[i as usize])
+                            .collect();
+                        let shrink = r.len() as f64 / (r.len() as f64 + l2);
+                        leaf_values[crate::hist::bit_reverse(block, d_levels)] =
+                            vmin_linalg::quantile(&r, q).unwrap_or(0.0) * shrink;
+                    }
+                }
+            }
+            // Prediction update straight from the blocks: no per-row tree
+            // walk, and element-wise so order is irrelevant.
+            for block in 0..n_leaves {
+                let v = leaf_values[crate::hist::bit_reverse(block, d_levels)];
+                for &i in state.block(block) {
+                    preds[i as usize] += lr * v;
+                }
+            }
+            self.trees.push(ObliviousTree {
+                levels,
+                leaf_values,
+            });
         }
         Ok(())
     }

@@ -12,6 +12,7 @@
 //! and the leaf weight is the Newton step `w = −G/(H+λ)`.
 
 use crate::fitplan::{FitPlan, TreeScratch};
+use crate::hist::{best_boundary_gbt, subtract_sibling, FeatHist, HistBinned};
 use vmin_linalg::Matrix;
 
 /// Regularization and shape limits for a single tree.
@@ -131,6 +132,49 @@ impl GradientTree {
         GradientTree { nodes }
     }
 
+    /// Fits a tree over **all** rows of `x` by histogram-binned split
+    /// finding (PR 7): node statistics are ≤256-bin per-feature
+    /// gradient/Hessian histograms, children reuse their parent's via the
+    /// sibling-subtraction trick, and each node scans bin boundaries
+    /// instead of sorted values. Same gain formula, `min_child_weight`
+    /// gate, strict-`>` tie rules, node push order, and Newton leaf
+    /// weights as [`GradientTree::fit`]; thresholds are the smallest
+    /// training value above each boundary so training rows route exactly
+    /// as scored (see `hist.rs` for the binning contract). Not
+    /// bit-identical to the exact scan — candidate thresholds are
+    /// quantile-binned — but bit-identical to itself at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad`/`hess` lengths differ from `x.rows()`, `x` is
+    /// empty, or `hb` was built for a different feature count.
+    pub(crate) fn fit_hist(
+        x: &Matrix,
+        grad: &[f64],
+        hess: &[f64],
+        params: &TreeParams,
+        hb: &HistBinned,
+        pool: &mut Vec<Vec<FeatHist>>,
+    ) -> Self {
+        assert_eq!(x.rows(), grad.len(), "tree: grad length mismatch");
+        assert_eq!(x.rows(), hess.len(), "tree: hess length mismatch");
+        assert!(x.rows() > 0, "tree: empty sample subset");
+        assert_eq!(hb.n_features(), x.cols(), "tree: bin table shape mismatch");
+        vmin_trace::counter_add("models.tree.fits", 1);
+        vmin_trace::counter_add("models.hist.tree_fits", 1);
+        let n = x.rows();
+        let mut rows: Vec<u32> = (0..n as u32).collect();
+        let mut tmp: Vec<u32> = vec![0; n];
+        let mut root_hist = pool.pop().unwrap_or_default();
+        hb.accumulate_into(&rows, grad, hess, hist_min_feats(n), &mut root_hist);
+        let mut nodes = Vec::new();
+        build_hist(
+            grad, hess, params, hb, 0, &mut rows, 0, n, root_hist, &mut tmp, &mut nodes, pool,
+        );
+        vmin_trace::counter_add("models.tree.nodes", nodes.len() as u64);
+        GradientTree { nodes }
+    }
+
     /// Predicted weight for a feature row.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
         let mut idx = 0;
@@ -179,8 +223,12 @@ impl GradientTree {
 /// feature workers; below it sorting is too cheap to amortize a thread.
 const PAR_MIN_NODE_ROWS: usize = 128;
 
-/// Minimum features per node for a parallel split search.
-const PAR_MIN_FEATURES: usize = 4;
+/// Minimum features per node for a parallel split search. Raised above the
+/// paper-scale feature count (6): BENCH_PR5.json showed threads2 *slower*
+/// than threads1 on small inputs, so per-feature scans over a handful of
+/// microsecond-sized columns stay serial and the campaign/fold level
+/// carries the parallelism.
+const PAR_MIN_FEATURES: usize = 8;
 
 /// Best split candidate `(gain, feature, threshold)` for one feature,
 /// scanning boundaries in sorted order with the serial search's exact tie
@@ -427,6 +475,160 @@ fn build_planned(
             my_idx
         }
     }
+}
+
+/// Parallel gating for the histogram passes: per-feature work below
+/// `PAR_MIN_NODE_ROWS` rows is too small to amortize a spawn.
+fn hist_min_feats(n_node: usize) -> usize {
+    if n_node >= PAR_MIN_NODE_ROWS {
+        crate::hist::PAR_MIN_FEATURES
+    } else {
+        usize::MAX
+    }
+}
+
+/// [`build`] over bin histograms `[lo, hi)` of the shared `rows` buffer;
+/// returns the new node's index. Mirrors the seed recursion: ascending-row
+/// `g_sum`/`h_sum`, same stop conditions, same node push order. The node's
+/// own histograms arrive by value; after the stable bin partition only the
+/// smaller child is re-accumulated and the larger one is derived in place
+/// from the parent (`models.hist.child_*` counters track both halves).
+/// Histograms a node is done with retire into `pool` and are reshaped by
+/// the next [`HistBinned::accumulate_into`], so steady-state growth is
+/// allocation-free across nodes *and* rounds (the boosted loop owns the
+/// pool).
+#[allow(clippy::too_many_arguments)]
+fn build_hist(
+    grad: &[f64],
+    hess: &[f64],
+    params: &TreeParams,
+    hb: &HistBinned,
+    depth: usize,
+    rows: &mut [u32],
+    lo: usize,
+    hi: usize,
+    hist: Vec<FeatHist>,
+    tmp: &mut [u32],
+    nodes: &mut Vec<Node>,
+    pool: &mut Vec<Vec<FeatHist>>,
+) -> usize {
+    let g_sum: f64 = rows[lo..hi].iter().map(|&i| grad[i as usize]).sum();
+    let h_sum: f64 = rows[lo..hi].iter().map(|&i| hess[i as usize]).sum();
+    let make_leaf = |nodes: &mut Vec<Node>| {
+        let weight = -g_sum / (h_sum + params.lambda);
+        nodes.push(Node::Leaf { weight });
+        nodes.len() - 1
+    };
+    let n_node = hi - lo;
+
+    if depth >= params.max_depth || n_node < 2 {
+        pool.push(hist);
+        return make_leaf(nodes);
+    }
+
+    let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+    vmin_trace::counter_add("models.tree.split_scans", 1);
+    let features: Vec<usize> = (0..hb.n_features()).collect();
+    let hist_ref = &hist;
+    let per_feature = vmin_par::par_map(&features, hist_min_feats(n_node), |_, &f| {
+        best_boundary_gbt(
+            &hist_ref[f],
+            &hb.split_at[f],
+            g_sum,
+            h_sum,
+            n_node as u32,
+            parent_score,
+            params.min_child_weight,
+            params.lambda,
+            params.gamma,
+            f,
+        )
+    });
+    let mut best: Option<(f64, usize, usize, f64)> = None; // (gain, feature, boundary, threshold)
+    for cand in per_feature.into_iter().flatten() {
+        if cand.0 > best.map_or(0.0, |(g, ..)| g) {
+            best = Some(cand);
+        }
+    }
+    let Some((_, feature, boundary, threshold)) = best else {
+        pool.push(hist);
+        return make_leaf(nodes);
+    };
+
+    // Stable partition by bin — the exact row sets the histograms scored
+    // (the stored threshold reproduces this routing on training rows).
+    let bins = &hb.bin_of[feature];
+    let mut write = lo;
+    let mut spill = 0usize;
+    for r in lo..hi {
+        let i = rows[r];
+        if (bins[i as usize] as usize) <= boundary {
+            rows[write] = i;
+            write += 1;
+        } else {
+            tmp[spill] = i;
+            spill += 1;
+        }
+    }
+    rows[write..hi].copy_from_slice(&tmp[..spill]);
+    let mid = write;
+
+    let left_smaller = (mid - lo) <= (hi - mid);
+    let (s_lo, s_hi) = if left_smaller { (lo, mid) } else { (mid, hi) };
+    let mut small = pool.pop().unwrap_or_default();
+    hb.accumulate_into(
+        &rows[s_lo..s_hi],
+        grad,
+        hess,
+        hist_min_feats(s_hi - s_lo),
+        &mut small,
+    );
+    vmin_trace::counter_add("models.hist.child_accumulated", 1);
+    let large = subtract_sibling(hist, &small);
+    vmin_trace::counter_add("models.hist.child_subtracted", 1);
+    let (left_hist, right_hist) = if left_smaller {
+        (small, large)
+    } else {
+        (large, small)
+    };
+
+    let my_idx = nodes.len();
+    nodes.push(Node::Leaf { weight: 0.0 }); // placeholder
+    let left = build_hist(
+        grad,
+        hess,
+        params,
+        hb,
+        depth + 1,
+        rows,
+        lo,
+        mid,
+        left_hist,
+        tmp,
+        nodes,
+        pool,
+    );
+    let right = build_hist(
+        grad,
+        hess,
+        params,
+        hb,
+        depth + 1,
+        rows,
+        mid,
+        hi,
+        right_hist,
+        tmp,
+        nodes,
+        pool,
+    );
+    nodes[my_idx] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
+    my_idx
 }
 
 /// Recursively grows the tree; returns the new node's index.

@@ -259,6 +259,60 @@ fn fit_cache_and_thread_count_matrix_is_bit_identical() {
 }
 
 #[test]
+fn hist_split_and_thread_count_matrix_is_bit_identical() {
+    // PR 7 extends the matrix with the histogram dimension: the full
+    // simulate → assemble → CQR pipeline must be byte-identical at
+    // VMIN_THREADS ∈ {1, 2, 8} within each hist setting. Unlike the
+    // fit-plan cache, histograms are an *approximation* — hist off is the
+    // exact-scan reference, hist on has its own reference, and the two
+    // must actually differ (a kill switch wired to nothing would pass the
+    // invariance rows vacuously).
+    let run = |threads: usize, hist_on: bool, model: PointModel| {
+        vmin_par::with_threads(threads, || {
+            cqr_vmin::models::with_histograms(hist_on, || {
+                let campaign = Campaign::run(&DatasetSpec::small(), 7);
+                let ds = assemble_dataset(&campaign, 0, 1, FeatureSet::Both).unwrap();
+                let predictor = VminPredictor::fit(
+                    &ds,
+                    RegionMethod::Cqr(model),
+                    0.1,
+                    0.25,
+                    42,
+                    &ModelConfig::fast(),
+                )
+                .unwrap();
+                (0..ds.n_samples())
+                    .map(|i| {
+                        let iv = predictor.interval(ds.sample(i)).unwrap();
+                        (iv.lo().to_bits(), iv.hi().to_bits())
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+    };
+    for model in [PointModel::Xgboost, PointModel::CatBoost] {
+        let exact = run(1, false, model);
+        let binned = run(1, true, model);
+        assert_ne!(
+            exact, binned,
+            "{model:?}: hist on/off produced identical intervals — switch unwired"
+        );
+        for threads in [2usize, 8] {
+            assert_eq!(
+                run(threads, false, model),
+                exact,
+                "{model:?}: exact intervals diverged at {threads} threads"
+            );
+            assert_eq!(
+                run(threads, true, model),
+                binned,
+                "{model:?}: binned intervals diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
 fn par_map_preserves_input_order_at_any_thread_count() {
     // Awkward sizes exercise uneven chunking: remainders, fewer items than
     // threads, and single-item inputs.
