@@ -10,17 +10,31 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> vmin-lint (determinism / NaN / panic-hygiene gate)"
+echo "==> vmin-lint v2 (determinism dataflow / contract / panic-hygiene gate)"
 cargo run -q -p vmin-lint -- --list-rules
 VMIN_LINT_JSON=target/vmin-lint.json cargo run -q -p vmin-lint -- --deny
 test -s target/vmin-lint.json
-grep -q '"schema": "vmin-lint/v1"' target/vmin-lint.json
+grep -q '"schema": "vmin-lint/v2"' target/vmin-lint.json
 grep -q '"status": "clean"' target/vmin-lint.json
+# The deny run must have enforced the checked-in contract registry (an
+# unreadable/missing contracts.toml under --deny is a hard error, so this
+# grep is belt-and-braces against a silent schema change).
+grep -q '"enforced": true' target/vmin-lint.json
+# The suppression budget rides the ratchet: every crate that spends allow
+# comments must show up, and (via the baseline no-op below) never grow.
+grep -q '"rule": "suppression-budget"' target/vmin-lint.json
 # The committed ratchet baseline must be tight: rewriting it at the current
 # counts has to be a no-op, otherwise somebody improved a count without
 # tightening (or the file was hand-edited upward).
 cargo run -q -p vmin-lint -- --update-baseline
 git diff --exit-code -- lint-baseline.json
+# Same tightness contract for the contract registry: --update-contracts
+# only drops stale entries and renormalizes, so on a healthy tree it is a
+# byte-for-byte no-op. A diff here means an env var or metric was removed
+# from the code without being unregistered (or the file drifted from
+# canonical form).
+cargo run -q -p vmin-lint -- --update-contracts
+git diff --exit-code -- contracts.toml
 
 echo "==> tier-1: cargo build --release && cargo test -q (default thread pool)"
 cargo build --release

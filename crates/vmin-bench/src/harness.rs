@@ -73,10 +73,7 @@ impl Criterion {
     /// cargo passed `--bench`, single-pass smoke mode otherwise.
     pub fn default_from_args() -> Criterion {
         let bench_mode = std::env::args().any(|a| a == "--bench");
-        let env_samples = std::env::var("VMIN_BENCH_SAMPLES")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .filter(|&n: &usize| n > 0);
+        let env_samples = vmin_trace::env_usize("VMIN_BENCH_SAMPLES").filter(|&n| n > 0);
         Criterion {
             bench_mode,
             default_samples: env_samples.unwrap_or(20),

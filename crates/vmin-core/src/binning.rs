@@ -94,7 +94,11 @@ pub fn bin_population(
     let mut supply_sum = 0.0;
     let mut power_sum = 0.0;
     // invariant: BinningScheme::new rejects an empty bin list.
-    let v_top = *scheme.bins_mv().last().expect("non-empty scheme");
+    let Some(&v_top) = scheme.bins_mv().last() else {
+        return Err(FlowError::InvalidConfig(
+            "binning scheme has no bins".to_string(),
+        ));
+    };
     let mut binned = 0usize;
     for i in 0..population.n_samples() {
         let iv = predictor.interval(population.sample(i))?;

@@ -79,4 +79,8 @@ pub use scenario::{
 };
 pub use screening::{simulate_screening, ScreeningDecision, ScreeningPolicy, ScreeningReport};
 pub use streaming::{run_stream, ReadPointStats, StreamConfig, StreamReport};
+// The canonical readers for `VMIN_*` environment knobs (they live in
+// `vmin-trace`, the workspace's root dependency, so every crate shares one
+// implementation; re-exported here because most tools depend on vmin-core).
+pub use vmin_trace::{env_flag, env_usize};
 pub use zoo::{ModelConfig, PointModel, RegionMethod};

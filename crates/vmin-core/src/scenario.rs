@@ -280,10 +280,13 @@ pub fn assemble_dataset_with_trends(
     if points.len() < 2 || matches!(feature_set, FeatureSet::Parametric) {
         return Ok(base);
     }
-    // invariant: the points.len() < 2 early return above guarantees at
-    // least two monitor read points here.
-    let first = *points.first().expect("non-empty");
-    let last = *points.last().expect("non-empty");
+    let (Some(&first), Some(&last)) = (points.first(), points.last()) else {
+        // unreachable in practice: the points.len() < 2 early return above
+        // guarantees at least two monitor read points here.
+        return Err(ScenarioError::Shape(
+            "monitor read-point schedule is empty".to_string(),
+        ));
+    };
     let n = campaign.chip_count();
     let rods = campaign.spec.monitors.rod_count;
     let cpds = campaign.spec.monitors.cpd_count;

@@ -21,8 +21,11 @@
 //! Several rules may be listed: `// vmin-lint: allow(panic-unwrap, float-eq)`.
 //! Suppressed findings are counted in the report but never fail the gate.
 
+use crate::contracts::{ContractRegistry, Observations};
+use crate::itemgraph::ItemGraph;
 use crate::lexer::{lex, mark_test_regions};
-use crate::rules::{check_tokens, rule_info, FileCtx, Finding, Severity};
+use crate::parser::parse_items;
+use crate::rules::{check_tokens, observe_contracts, rule_info, FileCtx, Finding, Severity};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -52,6 +55,13 @@ pub struct ScanReport {
     pub ratchet_counts: BTreeMap<String, usize>,
     /// Findings waived by `vmin-lint: allow(..)` comments.
     pub suppressed: usize,
+    /// Contract observations (env names, metric name/kind pairs) for
+    /// `--update-contracts`, collected whether or not a registry loaded.
+    pub observations: Observations,
+    /// Unsuppressed dead `pub` items (already folded into
+    /// `ratchet_counts` under `dead-pub-item/<crate>`; listed here so the
+    /// CLI and tests can say *which* items are dead).
+    pub dead_pub: Vec<Diagnostic>,
 }
 
 /// Parses the per-line suppression table: line number (1-based) → rules
@@ -91,16 +101,34 @@ fn is_suppressed(suppressions: &BTreeMap<u32, Vec<String>>, finding: &Finding) -
         })
 }
 
-/// Lints one source string. Returns the unsuppressed findings and the
-/// number of suppressed ones. This is the entry point the fixture tests
-/// drive; [`scan_workspace`] funnels every real file through it.
+/// Lints one source string with the default context (no file name, no
+/// contract registry — the `contract-*` and `hot-unchecked-index` rules
+/// need [`lint_source_with`]). Returns the unsuppressed findings and the
+/// number of suppressed ones. This is the entry point most fixture tests
+/// drive; [`scan_workspace`] funnels every real file through the richer
+/// variant.
 pub fn lint_source(crate_name: &str, is_crate_root: bool, src: &str) -> (Vec<Finding>, usize) {
+    lint_source_with(crate_name, "", is_crate_root, None, src)
+}
+
+/// [`lint_source`] with the full per-file context: file base name (drives
+/// hot-module scoping) and an optional contract registry (enables the
+/// `contract-*` rules).
+pub fn lint_source_with(
+    crate_name: &str,
+    file_name: &str,
+    is_crate_root: bool,
+    contracts: Option<&ContractRegistry>,
+    src: &str,
+) -> (Vec<Finding>, usize) {
     let suppressions = parse_suppressions(src);
     let mut toks = lex(src);
     mark_test_regions(&mut toks);
     let ctx = FileCtx {
         crate_name,
+        file_name,
         is_crate_root,
+        contracts,
     };
     let mut kept = Vec::new();
     let mut suppressed = 0usize;
@@ -139,12 +167,22 @@ fn is_crate_root(rel_to_src: &Path) -> bool {
     matches!(comps.as_slice(), ["lib.rs"] | ["main.rs"] | ["bin", _])
 }
 
-/// Scans one crate's `src/` tree into `report`.
+/// Mutable state threaded through a whole-workspace scan.
+struct ScanState<'a> {
+    report: ScanReport,
+    graph: ItemGraph,
+    /// Per-file suppression tables, kept for the dead-pub post-pass
+    /// (those findings only exist after every file has been seen).
+    suppressions_by_file: BTreeMap<String, BTreeMap<u32, Vec<String>>>,
+    contracts: Option<&'a ContractRegistry>,
+}
+
+/// Scans one crate's `src/` tree into the state.
 fn scan_crate(
     root: &Path,
     crate_name: &str,
     src_dir: &Path,
-    report: &mut ScanReport,
+    state: &mut ScanState<'_>,
 ) -> Result<(), String> {
     let mut files = Vec::new();
     collect_rs_files(src_dir, &mut files)?;
@@ -157,12 +195,40 @@ fn scan_crate(
             .filter_map(|c| c.to_str())
             .collect::<Vec<_>>()
             .join("/");
-        let (findings, suppressed) = lint_source(crate_name, is_crate_root(rel_to_src), &src);
+        let file_name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+
+        let suppressions = parse_suppressions(&src);
+        let mut toks = lex(&src);
+        mark_test_regions(&mut toks);
+        let items = parse_items(&toks);
+        self::observe_and_graph(crate_name, &rel, &toks, &items, state);
+
+        let ctx = FileCtx {
+            crate_name,
+            file_name: &file_name,
+            is_crate_root: is_crate_root(rel_to_src),
+            contracts: state.contracts,
+        };
+        let report = &mut state.report;
         report.files_scanned += 1;
-        report.suppressed += suppressed;
-        for f in findings {
-            let severity = rule_info(f.rule).map(|r| r.severity);
-            match severity {
+        // Every suppression line spends from the per-crate budget,
+        // whether or not a finding currently lands on it.
+        if !suppressions.is_empty() {
+            *report
+                .ratchet_counts
+                .entry(format!("suppression-budget/{crate_name}"))
+                .or_insert(0) += suppressions.len();
+        }
+        for f in check_tokens(&ctx, &toks) {
+            if is_suppressed(&suppressions, &f) {
+                report.suppressed += 1;
+                continue;
+            }
+            match rule_info(f.rule).map(|r| r.severity) {
                 Some(Severity::Deny) => report.deny.push(Diagnostic {
                     file: rel.clone(),
                     crate_name: crate_name.to_string(),
@@ -177,14 +243,57 @@ fn scan_crate(
                 None => {}
             }
         }
+        state.suppressions_by_file.insert(rel, suppressions);
+    }
+    Ok(())
+}
+
+/// Folds one linted file into the observations and the item graph.
+fn observe_and_graph(
+    crate_name: &str,
+    rel: &str,
+    toks: &[crate::lexer::Token],
+    items: &[crate::parser::Item],
+    state: &mut ScanState<'_>,
+) {
+    observe_contracts(crate_name, toks, &mut state.report.observations);
+    state.graph.add_file(crate_name, rel, toks, items);
+}
+
+/// Lexes `tests/`, `benches/` and `examples/` trees usage-only so items
+/// exercised exclusively there are not reported dead.
+fn add_usage_trees(dir: &Path, graph: &mut ItemGraph) -> Result<(), String> {
+    for sub in ["tests", "benches", "examples"] {
+        let tree = dir.join(sub);
+        if !tree.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&tree, &mut files)?;
+        for path in files {
+            let src =
+                fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+            graph.add_usage_only(&lex(&src));
+        }
     }
     Ok(())
 }
 
 /// Scans the whole workspace rooted at `root`: every `crates/*/src` tree
-/// plus the root package's `src/` (crate name `cqr-vmin`).
-pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
-    let mut report = ScanReport::default();
+/// plus the root package's `src/` (crate name `cqr-vmin`). `tests/`,
+/// `benches/` and `examples/` trees everywhere are folded into the item
+/// graph usage-only. When `contracts` is provided the `contract-*` deny
+/// rules are enforced and env overrides are verified against the graph.
+pub fn scan_workspace(
+    root: &Path,
+    contracts: Option<&ContractRegistry>,
+) -> Result<ScanReport, String> {
+    let mut state = ScanState {
+        report: ScanReport::default(),
+        graph: ItemGraph::default(),
+        suppressions_by_file: BTreeMap::new(),
+        contracts,
+    };
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
         .map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?
@@ -192,19 +301,83 @@ pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
         .filter(|p| p.is_dir() && p.join("src").is_dir())
         .collect();
     crate_dirs.sort();
-    for dir in crate_dirs {
+    for dir in &crate_dirs {
         let name = dir
             .file_name()
             .and_then(|n| n.to_str())
             .ok_or_else(|| format!("non-UTF-8 crate dir under {}", crates_dir.display()))?
             .to_string();
-        scan_crate(root, &name, &dir.join("src"), &mut report)?;
+        scan_crate(root, &name, &dir.join("src"), &mut state)?;
+        add_usage_trees(dir, &mut state.graph)?;
     }
     let root_src = root.join("src");
     if root_src.is_dir() {
-        scan_crate(root, "cqr-vmin", &root_src, &mut report)?;
+        scan_crate(root, "cqr-vmin", &root_src, &mut state)?;
     }
-    Ok(report)
+    add_usage_trees(root, &mut state.graph)?;
+
+    // Dead-pub post-pass: needs the complete graph, honors the same
+    // same-line / line-above suppression convention.
+    for rec in state.graph.dead_pub() {
+        let finding = Finding {
+            rule: "dead-pub-item",
+            line: rec.line,
+            message: format!(
+                "pub item `{}` is never referenced outside its own definitions anywhere in \
+                 the workspace (src + tests/benches/examples); delete it, make it private, \
+                 or waive it with `// vmin-lint: allow(dead-pub-item)`",
+                rec.name
+            ),
+        };
+        let suppressed = state
+            .suppressions_by_file
+            .get(&rec.file)
+            .is_some_and(|sup| is_suppressed(sup, &finding));
+        if suppressed {
+            state.report.suppressed += 1;
+            continue;
+        }
+        *state
+            .report
+            .ratchet_counts
+            .entry(format!("dead-pub-item/{}", rec.crate_name))
+            .or_insert(0) += 1;
+        state.report.dead_pub.push(Diagnostic {
+            file: rec.file.clone(),
+            crate_name: rec.crate_name.clone(),
+            finding,
+        });
+    }
+
+    // Contract override verification: a function-style override must
+    // exist somewhere in the workspace; `--flag` overrides are CLI-side.
+    if let Some(reg) = contracts {
+        for env in reg.envs.values() {
+            let ov = env.override_fn.as_str();
+            if ov.is_empty() || ov.starts_with("--") {
+                continue;
+            }
+            let fn_name = ov.rsplit("::").next().unwrap_or(ov);
+            if !state.graph.has_fn(fn_name) {
+                state.report.deny.push(Diagnostic {
+                    file: crate::contracts::CONTRACTS_FILE.to_string(),
+                    crate_name: "workspace".to_string(),
+                    finding: Finding {
+                        rule: "contract-env",
+                        line: 1,
+                        message: format!(
+                            "env contract `{}` names override `{ov}`, but no function \
+                             `{fn_name}` exists in the workspace item graph; fix the \
+                             registry or restore the override",
+                            env.name
+                        ),
+                    },
+                });
+            }
+        }
+    }
+
+    Ok(state.report)
 }
 
 #[cfg(test)]

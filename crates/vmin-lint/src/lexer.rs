@@ -1,12 +1,15 @@
 //! A minimal, dependency-free Rust lexer for the lint rules.
 //!
 //! This is **not** a full Rust front end (no `syn`): it strips comments,
-//! string/char literals and doc text, and emits a flat token stream with
-//! line numbers. That is enough for every rule the gate ships — the rules
-//! match identifier/punctuation patterns (`Instant`, `partial_cmp ( .. )
-//! . unwrap`, `static mut`, float literals beside `==`) rather than parsed
-//! syntax trees, so the analyzer stays a few hundred lines and builds in
-//! well under a second.
+//! char literals and doc text, and emits a flat token stream with line
+//! numbers. String literals are kept as dedicated [`TokKind::Str`] tokens
+//! (their contents never masquerade as identifiers, so a fixture string
+//! such as `"Instant::now()"` cannot trip an identifier rule), which lets
+//! the contract-registry rules read env-var and metric names out of call
+//! arguments. That is enough for every rule the gate ships — the rules
+//! match identifier/punctuation/string patterns rather than parsed syntax
+//! trees, so the analyzer stays a few hundred lines and builds in well
+//! under a second.
 //!
 //! A post-pass ([`mark_test_regions`]) flags tokens inside `#[test]`
 //! functions and `#[cfg(test)]` items so rules can exempt test code, where
@@ -25,6 +28,9 @@ pub enum TokKind {
     Punct,
     /// Lifetime such as `'a` or `'static` (never a char literal).
     Lifetime,
+    /// String literal (plain, raw, or byte); `text` holds the *contents*
+    /// verbatim, without the surrounding quotes or raw/byte prefixes.
+    Str,
 }
 
 /// One lexed token with its source line (1-based).
@@ -32,7 +38,8 @@ pub enum TokKind {
 pub struct Token {
     /// Lexical class.
     pub kind: TokKind,
-    /// Verbatim token text (empty for stripped literals — none are kept).
+    /// Verbatim token text; for [`TokKind::Str`] this is the literal's
+    /// contents (escapes left as written, quotes stripped).
     pub text: String,
     /// 1-based source line the token starts on.
     pub line: u32,
@@ -46,8 +53,9 @@ const MULTI_PUNCT: &[&str] = &[
     "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
 ];
 
-/// Lexes `src` into a token stream, dropping comments and the *contents*
-/// of string/char literals. Literal text never reaches the rules, so a
+/// Lexes `src` into a token stream, dropping comments and char-literal
+/// contents. String literals become [`TokKind::Str`] tokens whose `text`
+/// is the literal's contents; they never match identifier patterns, so a
 /// fixture string such as `"Instant::now()"` cannot trip a rule.
 pub fn lex(src: &str) -> Vec<Token> {
     let chars: Vec<char> = src.chars().collect();
@@ -108,6 +116,9 @@ pub fn lex(src: &str) -> Vec<Token> {
             if j < n && chars[j] == '"' && (raw_prefix || hashes == 0) {
                 if raw_prefix {
                     // Raw (byte) string: ends at `"` + `hashes` hashes.
+                    let start_line = line;
+                    let content_start = j + 1;
+                    let mut content_end = n;
                     i = j + 1;
                     'raw: while i < n {
                         if chars[i] == '\n' {
@@ -121,17 +132,31 @@ pub fn lex(src: &str) -> Vec<Token> {
                                 k += 1;
                             }
                             if k == hashes {
+                                content_end = i;
                                 i += 1 + hashes;
                                 break 'raw;
                             }
                         }
                         i += 1;
                     }
+                    toks.push(Token {
+                        kind: TokKind::Str,
+                        text: chars[content_start..content_end.min(n)].iter().collect(),
+                        line: start_line,
+                        in_test: false,
+                    });
                     continue;
                 }
                 // b"..": plain byte string, handled by the escape scanner.
-                i = j;
-                i = scan_string(&chars, i, &mut line);
+                let start_line = line;
+                let (end, content) = scan_string(&chars, j, &mut line);
+                toks.push(Token {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: start_line,
+                    in_test: false,
+                });
+                i = end;
                 continue;
             }
             if c == 'b' && i + 1 < n && chars[i + 1] == '\'' {
@@ -159,7 +184,15 @@ pub fn lex(src: &str) -> Vec<Token> {
         }
         // String literal.
         if c == '"' {
-            i = scan_string(&chars, i, &mut line);
+            let start_line = line;
+            let (end, content) = scan_string(&chars, i, &mut line);
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: content,
+                line: start_line,
+                in_test: false,
+            });
+            i = end;
             continue;
         }
         // Char literal vs lifetime.
@@ -300,10 +333,11 @@ pub fn lex(src: &str) -> Vec<Token> {
 }
 
 /// Scans a `"…"` literal starting at the opening quote; returns the index
-/// just past the closing quote.
-fn scan_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+/// just past the closing quote and the contents (escapes left verbatim).
+fn scan_string(chars: &[char], mut i: usize, line: &mut u32) -> (usize, String) {
     let n = chars.len();
     i += 1; // opening quote
+    let start = i;
     while i < n {
         match chars[i] {
             '\\' => {
@@ -312,7 +346,7 @@ fn scan_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
                 }
                 i += 2;
             }
-            '"' => return i + 1,
+            '"' => return (i + 1, chars[start..i].iter().collect()),
             '\n' => {
                 *line += 1;
                 i += 1;
@@ -320,7 +354,14 @@ fn scan_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
             _ => i += 1,
         }
     }
-    i
+    (i, chars[start..i.min(n)].iter().collect())
+}
+
+/// True when `toks[i]` exists and is the punctuation `text` (string
+/// literals are never mistaken for structure this way).
+pub(crate) fn punct_is(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
 }
 
 /// Scans a `'…'` char literal starting at the opening quote; returns the
@@ -354,7 +395,7 @@ fn scan_char_literal(chars: &[char], mut i: usize, line: &mut u32) -> usize {
 pub fn mark_test_regions(toks: &mut [Token]) {
     let mut i = 0usize;
     while i < toks.len() {
-        if toks[i].text == "#" && i + 1 < toks.len() && toks[i + 1].text == "[" {
+        if punct_is(toks, i, "#") && punct_is(toks, i + 1, "[") {
             let (attr_end, is_test) = scan_attribute(toks, i + 1);
             if !is_test {
                 i = attr_end;
@@ -362,7 +403,7 @@ pub fn mark_test_regions(toks: &mut [Token]) {
             }
             // Skip any further attributes between the test marker and the item.
             let mut j = attr_end;
-            while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
+            while punct_is(toks, j, "#") && punct_is(toks, j + 1, "[") {
                 let (e, _) = scan_attribute(toks, j + 1);
                 j = e;
             }
@@ -370,32 +411,28 @@ pub fn mark_test_regions(toks: &mut [Token]) {
             let mut end = toks.len();
             let mut k = j;
             while k < toks.len() {
-                match toks[k].text.as_str() {
-                    ";" => {
-                        end = k + 1;
-                        break;
-                    }
-                    "{" => {
-                        let mut depth = 0i32;
-                        while k < toks.len() {
-                            match toks[k].text.as_str() {
-                                "{" => depth += 1,
-                                "}" => {
-                                    depth -= 1;
-                                    if depth == 0 {
-                                        k += 1;
-                                        break;
-                                    }
-                                }
-                                _ => {}
-                            }
-                            k += 1;
-                        }
-                        end = k;
-                        break;
-                    }
-                    _ => k += 1,
+                if punct_is(toks, k, ";") {
+                    end = k + 1;
+                    break;
                 }
+                if punct_is(toks, k, "{") {
+                    let mut depth = 0i32;
+                    while k < toks.len() {
+                        if punct_is(toks, k, "{") {
+                            depth += 1;
+                        } else if punct_is(toks, k, "}") {
+                            depth -= 1;
+                            if depth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    end = k;
+                    break;
+                }
+                k += 1;
             }
             for t in toks.iter_mut().take(end).skip(i) {
                 t.in_test = true;
@@ -415,23 +452,19 @@ fn scan_attribute(toks: &[Token], open: usize) -> (usize, bool) {
     let mut first_ident: Option<&str> = None;
     let mut saw_test = false;
     while k < toks.len() {
-        match toks[k].text.as_str() {
-            "[" => depth += 1,
-            "]" => {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
+        if punct_is(toks, k, "[") {
+            depth += 1;
+        } else if punct_is(toks, k, "]") {
+            depth -= 1;
+            if depth == 0 {
+                break;
             }
-            _ => {
-                if toks[k].kind == TokKind::Ident {
-                    if first_ident.is_none() {
-                        first_ident = Some(&toks[k].text);
-                    }
-                    if toks[k].text == "test" {
-                        saw_test = true;
-                    }
-                }
+        } else if toks[k].kind == TokKind::Ident {
+            if first_ident.is_none() {
+                first_ident = Some(&toks[k].text);
+            }
+            if toks[k].text == "test" {
+                saw_test = true;
             }
         }
         k += 1;
@@ -454,18 +487,60 @@ mod tests {
     }
 
     #[test]
-    fn strips_comments_and_strings() {
-        let toks = texts("let x = \"Instant::now()\"; // Instant\n/* SystemTime */ let y = 1;");
-        assert!(!toks.iter().any(|t| t.contains("Instant")));
-        assert!(!toks.iter().any(|t| t.contains("SystemTime")));
-        assert_eq!(toks, vec!["let", "x", "=", ";", "let", "y", "=", "1", ";"]);
+    fn strips_comments_and_quarantines_strings() {
+        let toks = lex("let x = \"Instant::now()\"; // Instant\n/* SystemTime */ let y = 1;");
+        // Literal contents surface only as Str tokens, never as identifiers.
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.contains("Instant")));
+        assert!(!toks.iter().any(|t| t.text.contains("SystemTime")));
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["Instant::now()"]);
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "let",
+                "x",
+                "=",
+                "Instant::now()",
+                ";",
+                "let",
+                "y",
+                "=",
+                "1",
+                ";"
+            ]
+        );
     }
 
     #[test]
     fn raw_strings_and_raw_idents() {
-        let toks = texts("let a = r#\"HashMap \"quoted\" inside\"#; let r#type = 1;");
-        assert!(!toks.iter().any(|t| t.contains("HashMap")));
-        assert!(toks.iter().any(|t| t == "type"));
+        let toks = lex("let a = r#\"HashMap \"quoted\" inside\"#; let r#type = 1;");
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.contains("HashMap")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "HashMap \"quoted\" inside"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "type"));
+    }
+
+    #[test]
+    fn byte_strings_and_escapes_become_str_tokens() {
+        let toks = lex("let a = b\"VMIN_X\"; let b = \"line\\\"quoted\";");
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["VMIN_X", "line\\\"quoted"]);
     }
 
     #[test]

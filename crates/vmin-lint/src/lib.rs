@@ -33,7 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod contracts;
 pub mod engine;
+pub mod itemgraph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;

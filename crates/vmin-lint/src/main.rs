@@ -1,8 +1,8 @@
 //! CLI driver for the `vmin-lint` gate.
 //!
 //! ```text
-//! cargo run -p vmin-lint -- [--deny] [--update-baseline] [--list-rules]
-//!                           [--root <path>] [--json <path>]
+//! cargo run -p vmin-lint -- [--deny] [--update-baseline] [--update-contracts]
+//!                           [--list-rules] [--root <path>] [--json <path>]
 //! ```
 //!
 //! - `--deny`: exit non-zero on any deny-rule violation or ratchet
@@ -10,6 +10,11 @@
 //!   but the exit code stays 0 (advisory mode).
 //! - `--update-baseline`: rewrite `lint-baseline.json` at the current
 //!   (equal or lower) ratchet counts; refuses to raise any count.
+//! - `--update-contracts`: rewrite `contracts.toml` against the observed
+//!   `VMIN_*` env reads and metric registrations. Entries no longer
+//!   observed are dropped; **new** observations are an error (they must
+//!   be registered by hand, with documentation); with no existing file
+//!   the full registry is bootstrapped.
 //! - `--list-rules`: print the rule table and exit.
 //! - `--root`: workspace root (default: auto-detected from the current
 //!   directory or `CARGO_MANIFEST_DIR`).
@@ -20,6 +25,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use vmin_lint::baseline::{self, Counts};
+use vmin_lint::contracts::{self, CONTRACTS_FILE};
 use vmin_lint::engine::scan_workspace;
 use vmin_lint::report::{is_clean, render_diagnostic, render_json, render_rule_table};
 
@@ -39,6 +45,7 @@ fn main() -> ExitCode {
 fn run() -> Result<ExitCode, String> {
     let mut deny = false;
     let mut update_baseline = false;
+    let mut update_contracts = false;
     let mut list_rules = false;
     let mut root_arg: Option<PathBuf> = None;
     let mut json_arg: Option<PathBuf> = None;
@@ -48,6 +55,7 @@ fn run() -> Result<ExitCode, String> {
         match arg.as_str() {
             "--deny" => deny = true,
             "--update-baseline" => update_baseline = true,
+            "--update-contracts" => update_contracts = true,
             "--list-rules" => list_rules = true,
             "--root" => {
                 root_arg = Some(PathBuf::from(args.next().ok_or("--root requires a path")?))
@@ -57,8 +65,8 @@ fn run() -> Result<ExitCode, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: vmin-lint [--deny] [--update-baseline] [--list-rules] \
-                     [--root <path>] [--json <path>]"
+                    "usage: vmin-lint [--deny] [--update-baseline] [--update-contracts] \
+                     [--list-rules] [--root <path>] [--json <path>]"
                 );
                 return Ok(ExitCode::SUCCESS);
             }
@@ -75,7 +83,44 @@ fn run() -> Result<ExitCode, String> {
         Some(r) => r,
         None => detect_root()?,
     };
-    let report = scan_workspace(&root)?;
+
+    let contracts_path = root.join(CONTRACTS_FILE);
+    let mut registry = contracts::load(&contracts_path)?;
+
+    if update_contracts {
+        // Observation pass: the registry is not enforced while collecting,
+        // so a stale entry can't fail the scan it is about to be fixed by.
+        let obs = scan_workspace(&root, None)?.observations;
+        let (text, dropped) = contracts::tighten(&obs, registry.as_ref())?;
+        std::fs::write(&contracts_path, &text)
+            .map_err(|e| format!("write {}: {e}", contracts_path.display()))?;
+        for entry in &dropped {
+            eprintln!("vmin-lint: contracts: dropped unobserved {entry}");
+        }
+        eprintln!(
+            "vmin-lint: contracts written to {} ({} env var(s), {} metric(s))",
+            contracts_path.display(),
+            obs.envs.len(),
+            obs.metrics.len()
+        );
+        registry = contracts::load(&contracts_path)?;
+    }
+
+    if registry.is_none() {
+        if deny {
+            return Err(format!(
+                "{} not found; bootstrap it with --update-contracts",
+                contracts_path.display()
+            ));
+        }
+        eprintln!(
+            "vmin-lint: warning: {} not found; contract rules not enforced \
+             (bootstrap with --update-contracts)",
+            contracts_path.display()
+        );
+    }
+
+    let report = scan_workspace(&root, registry.as_ref())?;
 
     let baseline_path = root.join(BASELINE_FILE);
     let previous = baseline::load(&baseline_path)?;
@@ -116,6 +161,9 @@ fn run() -> Result<ExitCode, String> {
     for d in &report.deny {
         eprintln!("{}", render_diagnostic(d));
     }
+    for d in &report.dead_pub {
+        eprintln!("note: {}", render_diagnostic(d));
+    }
     let mut improvements = 0usize;
     for e in &ratchet {
         match e.status() {
@@ -135,7 +183,7 @@ fn run() -> Result<ExitCode, String> {
         );
     }
 
-    let json = render_json(&report, &ratchet, deny);
+    let json = render_json(&report, &ratchet, deny, registry.as_ref());
     let json_path = json_arg.or_else(|| std::env::var_os("VMIN_LINT_JSON").map(PathBuf::from));
     if let Some(path) = json_path {
         std::fs::write(&path, &json).map_err(|e| format!("write {}: {e}", path.display()))?;

@@ -6,13 +6,18 @@
 //!
 //! ```json
 //! {
-//!   "schema": "vmin-lint/v1",
+//!   "schema": "vmin-lint/v2",
 //!   "deny": true,
 //!   "files_scanned": 103,
 //!   "suppressed": 12,
 //!   "rules": ["det-wall-clock", "..."],
+//!   "contracts": {"enforced": true, "registered_envs": 9, "registered_metrics": 14,
+//!                 "observed_envs": 9, "observed_metrics": 14},
 //!   "violations": [
 //!     {"rule": "...", "crate": "...", "file": "...", "line": 3, "message": "..."}
+//!   ],
+//!   "dead_pub": [
+//!     {"crate": "...", "file": "...", "line": 40, "message": "..."}
 //!   ],
 //!   "ratchet": [
 //!     {"rule": "...", "crate": "...", "count": 2, "baseline": 2, "status": "ok"}
@@ -23,14 +28,18 @@
 //!
 //! `status` is `"clean"` exactly when there are no deny violations and no
 //! ratchet regressions — `ci.sh` greps for it after validating the schema
-//! tag.
+//! tag. `contracts.enforced` is false when no `contracts.toml` registry
+//! was loaded (the `contract-*` rules then stay silent); the v2 schema
+//! bump covers the new `contracts` and `dead_pub` members and the ten
+//! rules added by the semantic analyzer.
 
 use crate::baseline::RatchetEntry;
+use crate::contracts::ContractRegistry;
 use crate::engine::{Diagnostic, ScanReport};
 use crate::rules::RULES;
 
 /// Schema tag of the JSON report.
-pub const REPORT_SCHEMA: &str = "vmin-lint/v1";
+pub const REPORT_SCHEMA: &str = "vmin-lint/v2";
 
 /// Escapes the characters JSON forbids in strings.
 fn json_escape(s: &str) -> String {
@@ -56,16 +65,34 @@ pub fn is_clean(report: &ScanReport, ratchet: &[RatchetEntry]) -> bool {
     report.deny.is_empty() && ratchet.iter().all(|e| e.current <= e.baseline)
 }
 
-/// Renders the JSON report.
-pub fn render_json(report: &ScanReport, ratchet: &[RatchetEntry], deny: bool) -> String {
+/// Renders the JSON report. `contracts` is the registry the scan enforced,
+/// if one was loaded.
+pub fn render_json(
+    report: &ScanReport,
+    ratchet: &[RatchetEntry],
+    deny: bool,
+    contracts: Option<&ContractRegistry>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str(&format!("  \"schema\": \"{REPORT_SCHEMA}\",\n"));
+    // Positional arg (not `{REPORT_SCHEMA}` inline) so the item graph sees
+    // the identifier — format-string interpolations live inside string
+    // literals, which the dead-pub accounting cannot read.
+    s.push_str(&format!("  \"schema\": \"{}\",\n", REPORT_SCHEMA));
     s.push_str(&format!("  \"deny\": {deny},\n"));
     s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
     s.push_str(&format!("  \"suppressed\": {},\n", report.suppressed));
     let rule_names: Vec<String> = RULES.iter().map(|r| format!("\"{}\"", r.name)).collect();
     s.push_str(&format!("  \"rules\": [{}],\n", rule_names.join(", ")));
+    s.push_str(&format!(
+        "  \"contracts\": {{\"enforced\": {}, \"registered_envs\": {}, \
+         \"registered_metrics\": {}, \"observed_envs\": {}, \"observed_metrics\": {}}},\n",
+        contracts.is_some(),
+        contracts.map_or(0, |c| c.envs.len()),
+        contracts.map_or(0, |c| c.metrics.len()),
+        report.observations.envs.len(),
+        report.observations.metrics.len(),
+    ));
     s.push_str("  \"violations\": [\n");
     for (i, d) in report.deny.iter().enumerate() {
         s.push_str(&format!(
@@ -77,6 +104,22 @@ pub fn render_json(report: &ScanReport, ratchet: &[RatchetEntry], deny: bool) ->
             d.finding.line,
             json_escape(&d.finding.message),
             if i + 1 < report.deny.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"dead_pub\": [\n");
+    for (i, d) in report.dead_pub.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"crate\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            json_escape(&d.crate_name),
+            json_escape(&d.file),
+            d.finding.line,
+            json_escape(&d.finding.message),
+            if i + 1 < report.dead_pub.len() {
+                ","
+            } else {
+                ""
+            }
         ));
     }
     s.push_str("  ],\n");
@@ -156,6 +199,8 @@ mod tests {
             }],
             ratchet_counts: Default::default(),
             suppressed: 1,
+            observations: Default::default(),
+            dead_pub: Vec::new(),
         }
     }
 
@@ -167,12 +212,13 @@ mod tests {
             current: 2,
             baseline: 2,
         }];
-        let json = render_json(&report, &ratchet, true);
-        assert!(json.contains("\"schema\": \"vmin-lint/v1\""));
+        let json = render_json(&report, &ratchet, true, None);
+        assert!(json.contains("\"schema\": \"vmin-lint/v2\""));
         assert!(json.contains("\"status\": \"violations\""));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"rule\": \"panic-unwrap\", \"crate\": \"vmin-core\""));
         assert!(json.contains("\"status\": \"ok\"}"));
+        assert!(json.contains("\"enforced\": false"));
     }
 
     #[test]
@@ -184,9 +230,47 @@ mod tests {
             baseline: 2,
         }];
         assert!(is_clean(&report, &ratchet));
-        let json = render_json(&report, &ratchet, true);
+        let json = render_json(&report, &ratchet, true, None);
         assert!(json.contains("\"status\": \"clean\""));
         assert!(json.contains("\"status\": \"improved\"}"));
+    }
+
+    #[test]
+    fn contracts_summary_reflects_registry_and_observations() {
+        let mut report = ScanReport::default();
+        report.observations.envs.insert("VMIN_TRACE".to_string());
+        report
+            .observations
+            .metrics
+            .insert(("models.gbt.fit".to_string(), "counter".to_string()));
+        let reg = crate::contracts::parse(
+            "schema = \"vmin-contracts/v1\"\n\n[[env]]\nname = \"VMIN_TRACE\"\n\
+             doc = \"d\"\n\n[[metric]]\nname = \"models.gbt.fit\"\nkind = \"counter\"\n\
+             doc = \"d\"\n",
+        )
+        .expect("registry parses");
+        let json = render_json(&report, &[], true, Some(&reg));
+        assert!(json.contains(
+            "\"contracts\": {\"enforced\": true, \"registered_envs\": 1, \
+             \"registered_metrics\": 1, \"observed_envs\": 1, \"observed_metrics\": 1}"
+        ));
+    }
+
+    #[test]
+    fn dead_pub_items_are_listed() {
+        let mut report = ScanReport::default();
+        report.dead_pub.push(Diagnostic {
+            file: "crates/vmin-core/src/lib.rs".to_string(),
+            crate_name: "vmin-core".to_string(),
+            finding: Finding {
+                rule: "dead-pub-item",
+                line: 40,
+                message: "pub item `orphan` is never referenced".to_string(),
+            },
+        });
+        let json = render_json(&report, &[], false, None);
+        assert!(json.contains("\"dead_pub\": [\n    {\"crate\": \"vmin-core\""));
+        assert!(json.contains("`orphan`"));
     }
 
     #[test]

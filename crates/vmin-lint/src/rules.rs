@@ -15,7 +15,10 @@
 //! `// vmin-lint: allow(<rule>)` comment on the same line or the line
 //! directly above (see [`crate::engine`]).
 
-use crate::lexer::{TokKind, Token};
+use crate::contracts::{ContractRegistry, Observations};
+use crate::lexer::{punct_is, TokKind, Token};
+use crate::parser::{call_args, matching_close};
+use std::collections::BTreeSet;
 
 /// Crates whose numeric results feed the conformal coverage guarantee;
 /// the strict determinism rules apply only here. `vmin-bench` (timing),
@@ -142,6 +145,83 @@ pub const RULES: &[RuleInfo] = &[
         scope: "all crates (non-test code)",
         summary: "panic!/todo!/unimplemented! in library code; counts only go down",
     },
+    RuleInfo {
+        name: "par-mut-capture",
+        severity: Severity::Deny,
+        scope: "all crates except vmin-par (non-test code)",
+        summary: "a closure handed to par_map/par_chunks_mut/join must not take &mut to \
+                  captured state or assign through a capture; mutate closure-locals or the \
+                  provided chunk only — shared writes depend on scheduling order",
+    },
+    RuleInfo {
+        name: "par-interior-mut",
+        severity: Severity::Deny,
+        scope: "all crates except vmin-par (non-test code)",
+        summary: "RefCell/Mutex/RwLock/atomics (and their borrow_mut/lock/fetch_* methods) \
+                  inside a parallel closure smuggle scheduling-order effects past the \
+                  &mut-capture check; keep interior mutability out of par closures",
+    },
+    RuleInfo {
+        name: "par-rng-construct",
+        severity: Severity::Deny,
+        scope: "all crates except vmin-par (non-test code)",
+        summary: "an RNG constructed inside a parallel closure must derive its seed from the \
+                  closure's own parameters (per-item streams); a constant or captured seed \
+                  gives every task the same stream",
+    },
+    RuleInfo {
+        name: "par-float-reduce",
+        severity: Severity::Deny,
+        scope: "all crates except vmin-par (non-test code)",
+        summary: "chaining .sum()/.product()/a +-fold directly onto a parallel call treats \
+                  its output as an unordered bag; bind the Vec and reduce serially in index \
+                  order so the float reduction stays associative-in-practice",
+    },
+    RuleInfo {
+        name: "contract-env",
+        severity: Severity::Deny,
+        scope: "all crates (non-test code); non-literal names allowed only in vmin-trace",
+        summary: "every VMIN_* environment read must use a literal name registered in \
+                  contracts.toml (with its programmatic override); typo'd or dynamic env \
+                  keys silently disable kill switches",
+    },
+    RuleInfo {
+        name: "contract-metric",
+        severity: Severity::Deny,
+        scope: "all crates except vmin-trace (non-test code)",
+        summary: "every vmin_trace counter/topology/gauge/histogram/span name must be a \
+                  literal registered in contracts.toml under the matching kind; drifting \
+                  metric names break the trace-report identity checks",
+    },
+    RuleInfo {
+        name: "hot-unchecked-index",
+        severity: Severity::Ratchet,
+        scope: "hot-path modules (vmin-models gbt/hist/oblivious/fitplan/tree, vmin-linalg \
+                kernels)",
+        summary: "unchecked `[..]` indexing in hot-path modules panics on a bad index deep \
+                  in a fit; prefer iterators/split_at/get, counts only go down",
+    },
+    RuleInfo {
+        name: "lossy-as-cast",
+        severity: Severity::Ratchet,
+        scope: "all crates (non-test code)",
+        summary: "`as` casts to narrower types (u8/u16/u32/i8/i16/i32/f32) silently truncate \
+                  or wrap; use TryFrom or a checked helper, counts only go down",
+    },
+    RuleInfo {
+        name: "dead-pub-item",
+        severity: Severity::Ratchet,
+        scope: "whole-workspace item graph (src + tests/benches/examples usage)",
+        summary: "a pub item whose name is never mentioned outside its own definitions is \
+                  dead API surface; delete it, de-pub it, or #[allow] it with rationale",
+    },
+    RuleInfo {
+        name: "suppression-budget",
+        severity: Severity::Ratchet,
+        scope: "per crate",
+        summary: "each `// vmin-lint: allow(..)` line spends from a per-crate budget that \
+                  only ratchets down; waivers are debt, not a lifestyle",
+    },
 ];
 
 /// Looks up a rule by name.
@@ -165,8 +245,14 @@ pub struct Finding {
 pub struct FileCtx<'a> {
     /// Workspace crate the file belongs to (directory name under `crates/`).
     pub crate_name: &'a str,
+    /// File base name (`gbt.rs`) — drives the hot-module scoping.
+    pub file_name: &'a str,
     /// True for crate roots: `src/lib.rs`, `src/main.rs`, `src/bin/*.rs`.
     pub is_crate_root: bool,
+    /// Contract registries; `None` disables the `contract-*` rules (the
+    /// CLI refuses `--deny` without a registry, so this is only soft in
+    /// advisory mode and unit fixtures).
+    pub contracts: Option<&'a ContractRegistry>,
 }
 
 /// Runs every rule over one file's marked token stream.
@@ -345,35 +431,693 @@ pub fn check_tokens(ctx: &FileCtx<'_>, toks: &[Token]) -> Vec<Finding> {
         });
     }
 
+    check_par_entries(ctx, toks, &mut out);
+    check_contract_sites(ctx, toks, &mut out);
+    check_hot_index(ctx, toks, &mut out);
+    check_lossy_cast(ctx, toks, &mut out);
+
     out
+}
+
+// ---------------------------------------------------------------------------
+// Determinism dataflow: closures handed to vmin-par entry points.
+// ---------------------------------------------------------------------------
+
+/// Interior-mutability *types* whose mere mention inside a par closure is
+/// denied (plus any `Atomic*` ident and the `Relaxed` ordering).
+const INTERIOR_MUT_TYPES: &[&str] = &["RefCell", "Cell", "Mutex", "RwLock", "Relaxed"];
+
+/// Interior-mutability *methods*: flagged when called (`.name(`) inside a
+/// par closure. `swap` is deliberately absent (`slice::swap` on the
+/// provided chunk is legitimate).
+const INTERIOR_MUT_METHODS: &[&str] = &[
+    "borrow_mut",
+    "lock",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// RNG constructors that must be fed a per-item seed inside par closures.
+const RNG_CONSTRUCTORS: &[&str] = &["seed_from_u64", "from_seed"];
+
+/// True when `toks[i]` starts a `vmin-par` entry-point call. `par_map` /
+/// `par_chunks_mut` are distinctive enough to match bare (method calls
+/// and `fn` definitions are excluded); `join` is matched only as
+/// `vmin_par::join(` because `str::join` and friends share the name.
+fn par_entry_at(toks: &[Token], i: usize) -> Option<&'static str> {
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident || !punct_is(toks, i + 1, "(") {
+        return None;
+    }
+    if i > 0 && punct_is(toks, i - 1, ".") {
+        return None;
+    }
+    if i > 0 && toks[i - 1].kind == TokKind::Ident && toks[i - 1].text == "fn" {
+        return None;
+    }
+    match t.text.as_str() {
+        "par_map" => Some("par_map"),
+        "par_chunks_mut" => Some("par_chunks_mut"),
+        "join"
+            if i >= 2
+                && punct_is(toks, i - 1, "::")
+                && toks[i - 2].kind == TokKind::Ident
+                && toks[i - 2].text == "vmin_par" =>
+        {
+            Some("join")
+        }
+        _ => None,
+    }
+}
+
+/// Scans for par entry calls and runs the dataflow checks over every
+/// closure argument, plus the float-reduce check on the call's result.
+fn check_par_entries(ctx: &FileCtx<'_>, toks: &[Token], out: &mut Vec<Finding>) {
+    if ctx.crate_name == "vmin-par" {
+        return;
+    }
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        let Some(entry) = par_entry_at(toks, i) else {
+            continue;
+        };
+        for (s, e) in call_args(toks, i + 1, toks.len()) {
+            if let Some((params, body_start)) = closure_header(toks, s, e) {
+                analyze_par_closure(entry, toks, params, body_start, e, out);
+            }
+        }
+        let close = matching_close(toks, i + 1, toks.len());
+        check_float_reduce(entry, toks, close, out);
+    }
+}
+
+/// If the argument slice `[s, e)` is a closure, returns its parameter
+/// names and the body's start index.
+fn closure_header(toks: &[Token], s: usize, e: usize) -> Option<(BTreeSet<String>, usize)> {
+    let mut k = s;
+    if toks
+        .get(k)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == "move")
+    {
+        k += 1;
+    }
+    if punct_is(toks, k, "||") {
+        return Some((BTreeSet::new(), k + 1));
+    }
+    if !punct_is(toks, k, "|") {
+        return None;
+    }
+    let mut params = BTreeSet::new();
+    let mut j = k + 1;
+    while j < e && !punct_is(toks, j, "|") {
+        if toks[j].kind == TokKind::Ident && toks[j].text != "mut" {
+            params.insert(toks[j].text.clone());
+        }
+        j += 1;
+    }
+    (j < e).then_some((params, j + 1))
+}
+
+/// Token texts that may legitimately precede the *base* identifier of an
+/// `=` expression without it being an assignment to that identifier
+/// (bindings, patterns, generics, type ascriptions).
+const NON_ASSIGN_PRECEDERS: &[&str] = &[
+    "let", "mut", "for", "in", "ref", "|", ",", "(", ":", "<", "&",
+];
+
+/// Runs the `par-mut-capture` / `par-interior-mut` / `par-rng-construct`
+/// checks over one closure body `[body_start, end)` with `params` bound.
+fn analyze_par_closure(
+    entry: &str,
+    toks: &[Token],
+    params: BTreeSet<String>,
+    body_start: usize,
+    end: usize,
+    out: &mut Vec<Finding>,
+) {
+    let mut locals = params;
+    let mut k = body_start;
+    while k < end {
+        let t = &toks[k];
+        if t.kind == TokKind::Ident {
+            let name = t.text.as_str();
+            match name {
+                // Bindings introduce closure-locals (type idents swept in
+                // alongside pattern idents are a harmless overcount).
+                "let" => {
+                    let mut j = k + 1;
+                    while j < end && !punct_is(toks, j, "=") && !punct_is(toks, j, ";") {
+                        if toks[j].kind == TokKind::Ident && toks[j].text != "mut" {
+                            locals.insert(toks[j].text.clone());
+                        }
+                        j += 1;
+                    }
+                }
+                "for" => {
+                    let mut j = k + 1;
+                    while j < end && !(toks[j].kind == TokKind::Ident && toks[j].text == "in") {
+                        if toks[j].kind == TokKind::Ident && toks[j].text != "mut" {
+                            locals.insert(toks[j].text.clone());
+                        }
+                        j += 1;
+                    }
+                }
+                _ if INTERIOR_MUT_TYPES.contains(&name) || name.starts_with("Atomic") => {
+                    out.push(Finding {
+                        rule: "par-interior-mut",
+                        line: t.line,
+                        message: format!(
+                            "`{name}` inside a `{entry}` closure: interior mutability makes \
+                             task effects scheduling-order-dependent; restructure so each \
+                             task only writes its own output slot"
+                        ),
+                    });
+                }
+                _ if INTERIOR_MUT_METHODS.contains(&name)
+                    && punct_is(toks, k.wrapping_sub(1), ".")
+                    && punct_is(toks, k + 1, "(") =>
+                {
+                    out.push(Finding {
+                        rule: "par-interior-mut",
+                        line: t.line,
+                        message: format!(
+                            "`.{name}(..)` inside a `{entry}` closure: interior-mutability \
+                             access makes task effects scheduling-order-dependent"
+                        ),
+                    });
+                }
+                _ if RNG_CONSTRUCTORS.contains(&name) && punct_is(toks, k + 1, "(") => {
+                    let seeded_locally = call_args(toks, k + 1, end).iter().any(|&(s, e)| {
+                        toks[s..e]
+                            .iter()
+                            .any(|a| a.kind == TokKind::Ident && locals.contains(&a.text))
+                    });
+                    if !seeded_locally {
+                        out.push(Finding {
+                            rule: "par-rng-construct",
+                            line: t.line,
+                            message: format!(
+                                "`{name}(..)` inside a `{entry}` closure with no closure-local \
+                                 in its seed: every task would draw the same stream; derive \
+                                 the seed from the task's own index/parameter"
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        } else if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                // Nested closure: its parameters become locals.
+                "|" => {
+                    let opens_params = k == body_start
+                        || toks.get(k.wrapping_sub(1)).is_some_and(|p| {
+                            (p.kind == TokKind::Punct
+                                && matches!(p.text.as_str(), "(" | "," | "=" | "{" | ";" | "=>"))
+                                || (p.kind == TokKind::Ident && p.text == "move")
+                        });
+                    if opens_params {
+                        let mut j = k + 1;
+                        while j < end && !punct_is(toks, j, "|") {
+                            if toks[j].kind == TokKind::Ident && toks[j].text != "mut" {
+                                locals.insert(toks[j].text.clone());
+                            }
+                            j += 1;
+                        }
+                        k = j;
+                    }
+                }
+                "&" if toks
+                    .get(k + 1)
+                    .is_some_and(|n| n.kind == TokKind::Ident && n.text == "mut")
+                    && toks.get(k + 2).is_some_and(|n| n.kind == TokKind::Ident) =>
+                {
+                    // Skip type positions: `: &mut T`, `<&mut T>`, `-> &mut T`.
+                    let type_pos = k > 0
+                        && toks[k - 1].kind == TokKind::Punct
+                        && matches!(toks[k - 1].text.as_str(), ":" | "<" | "->");
+                    let target = &toks[k + 2];
+                    if !type_pos && !locals.contains(&target.text) {
+                        out.push(Finding {
+                            rule: "par-mut-capture",
+                            line: t.line,
+                            message: format!(
+                                "`&mut {}` inside a `{entry}` closure borrows captured state \
+                                 mutably; tasks may only mutate closure-locals or the chunk \
+                                 the entry point hands them",
+                                target.text
+                            ),
+                        });
+                    }
+                }
+                "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=" => {
+                    if let Some(base) = assign_base(toks, k, body_start) {
+                        if !locals.contains(&toks[base].text) {
+                            out.push(Finding {
+                                rule: "par-mut-capture",
+                                line: t.line,
+                                message: format!(
+                                    "`{}` assigns through captured `{}` inside a `{entry}` \
+                                     closure; accumulate into the task's own output and \
+                                     reduce serially after the join",
+                                    t.text, toks[base].text
+                                ),
+                            });
+                        }
+                    }
+                }
+                "=" => {
+                    if let Some(base) = assign_base(toks, k, body_start) {
+                        let preceded = base == body_start
+                            || (base > 0
+                                && NON_ASSIGN_PRECEDERS.contains(&toks[base - 1].text.as_str())
+                                && toks[base - 1].kind != TokKind::Str);
+                        if !preceded && !locals.contains(&toks[base].text) {
+                            out.push(Finding {
+                                rule: "par-mut-capture",
+                                line: t.line,
+                                message: format!(
+                                    "assignment to captured `{}` inside a `{entry}` closure; \
+                                     tasks may only write closure-locals or their own chunk",
+                                    toks[base].text
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Walks left from the assignment operator at `op` over `.field`,
+/// `.0`-style tuple access and `[...]` index chains to the base
+/// identifier of the place expression, if one exists.
+fn assign_base(toks: &[Token], op: usize, lo: usize) -> Option<usize> {
+    let mut k = op.checked_sub(1)?;
+    loop {
+        if k < lo {
+            return None;
+        }
+        let t = &toks[k];
+        if t.kind == TokKind::Ident {
+            if k >= lo + 2 && punct_is(toks, k - 1, ".") {
+                k -= 2;
+                continue;
+            }
+            return Some(k);
+        }
+        if t.kind == TokKind::Int && k >= lo + 2 && punct_is(toks, k - 1, ".") {
+            k -= 2;
+            continue;
+        }
+        if t.kind == TokKind::Punct && t.text == "]" {
+            let open = matching_open(toks, k, lo)?;
+            if open == lo {
+                return None;
+            }
+            k = open - 1;
+            continue;
+        }
+        return None;
+    }
+}
+
+/// Backward bracket match: the `[` pairing the `]` at `close`.
+fn matching_open(toks: &[Token], close: usize, lo: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = close;
+    loop {
+        if punct_is(toks, k, "]") {
+            depth += 1;
+        } else if punct_is(toks, k, "[") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+        if k == lo {
+            return None;
+        }
+        k -= 1;
+    }
+}
+
+/// Flags `.sum()`, `.product()` and `+`-folds chained directly onto a par
+/// entry call's result (`close` = index of the call's closing paren).
+fn check_float_reduce(entry: &str, toks: &[Token], close: usize, out: &mut Vec<Finding>) {
+    let mut j = close + 1;
+    while punct_is(toks, j, ".") {
+        let Some(m) = toks.get(j + 1) else {
+            return;
+        };
+        if m.kind != TokKind::Ident {
+            return;
+        }
+        // Skip a turbofish: `::<f64>`.
+        let mut p = j + 2;
+        if punct_is(toks, p, "::") && punct_is(toks, p + 1, "<") {
+            let mut depth = 0i32;
+            let mut q = p + 1;
+            while q < toks.len() {
+                match toks[q].text.as_str() {
+                    "<" if toks[q].kind == TokKind::Punct => depth += 1,
+                    "<<" if toks[q].kind == TokKind::Punct => depth += 2,
+                    ">" if toks[q].kind == TokKind::Punct => depth -= 1,
+                    ">>" if toks[q].kind == TokKind::Punct => depth -= 2,
+                    _ => {}
+                }
+                if depth <= 0 {
+                    break;
+                }
+                q += 1;
+            }
+            p = q + 1;
+        }
+        if !punct_is(toks, p, "(") {
+            return;
+        }
+        let aclose = matching_close(toks, p, toks.len());
+        match m.text.as_str() {
+            "sum" | "product" => out.push(Finding {
+                rule: "par-float-reduce",
+                line: m.line,
+                message: format!(
+                    "`.{}()` chained directly onto `{entry}(..)`: bind the result Vec and \
+                     reduce it serially in index order so the float reduction order is \
+                     pinned by construction",
+                    m.text
+                ),
+            }),
+            "fold" => {
+                let adds = toks[p..=aclose.min(toks.len().saturating_sub(1))]
+                    .iter()
+                    .any(|a| a.kind == TokKind::Punct && (a.text == "+" || a.text == "+="));
+                if adds {
+                    out.push(Finding {
+                        rule: "par-float-reduce",
+                        line: m.line,
+                        message: format!(
+                            "`+`-fold chained directly onto `{entry}(..)`: bind the result \
+                             Vec and accumulate serially in index order"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+        j = aclose + 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contract registries: VMIN_* env reads and vmin_trace metric names.
+// ---------------------------------------------------------------------------
+
+/// Maps a metric-emitting function to its registry kind.
+fn metric_kind_of(name: &str) -> Option<&'static str> {
+    match name {
+        "counter_add" => Some("counter"),
+        "topology_add" => Some("topology"),
+        "gauge_max" => Some("gauge"),
+        "histogram_record" => Some("histogram"),
+        "span" => Some("span"),
+        _ => None,
+    }
+}
+
+/// Detects an environment-read call at `i`; returns the index of its `(`.
+/// Covers `env::var(..)` / `env::var_os(..)` (any path prefix) and the
+/// sanctioned `env_flag(..)` / `env_usize(..)` helpers.
+fn env_read_at(toks: &[Token], i: usize) -> Option<usize> {
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident || !punct_is(toks, i + 1, "(") {
+        return None;
+    }
+    if i > 0 && toks[i - 1].kind == TokKind::Ident && toks[i - 1].text == "fn" {
+        return None;
+    }
+    match t.text.as_str() {
+        "var" | "var_os"
+            if i >= 2
+                && punct_is(toks, i - 1, "::")
+                && toks[i - 2].kind == TokKind::Ident
+                && toks[i - 2].text == "env" =>
+        {
+            Some(i + 1)
+        }
+        "env_flag" | "env_usize" if !punct_is(toks, i.wrapping_sub(1), ".") => Some(i + 1),
+        _ => None,
+    }
+}
+
+/// Detects a `vmin_trace` metric call at `i`; returns `(kind, index of
+/// its paren)`. Method calls (`.span(`) and definitions (`fn span(`) are
+/// excluded.
+fn metric_call_at(toks: &[Token], i: usize) -> Option<(&'static str, usize)> {
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident || !punct_is(toks, i + 1, "(") {
+        return None;
+    }
+    if i > 0 && punct_is(toks, i - 1, ".") {
+        return None;
+    }
+    if i > 0 && toks[i - 1].kind == TokKind::Ident && toks[i - 1].text == "fn" {
+        return None;
+    }
+    metric_kind_of(&t.text).map(|k| (k, i + 1))
+}
+
+/// If the call at paren `open` has a single string literal as its first
+/// argument, returns it.
+fn literal_first_arg(toks: &[Token], open: usize) -> Option<&Token> {
+    let args = call_args(toks, open, toks.len());
+    let &(s, e) = args.first()?;
+    (e == s + 1 && toks[s].kind == TokKind::Str).then(|| &toks[s])
+}
+
+/// The `contract-env` / `contract-metric` deny rules.
+fn check_contract_sites(ctx: &FileCtx<'_>, toks: &[Token], out: &mut Vec<Finding>) {
+    let Some(reg) = ctx.contracts else {
+        return;
+    };
+    let is_trace = ctx.crate_name == "vmin-trace";
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        if let Some(open) = env_read_at(toks, i) {
+            match literal_first_arg(toks, open) {
+                Some(lit) if lit.text.starts_with("VMIN_") && !reg.env_registered(&lit.text) => {
+                    out.push(Finding {
+                        rule: "contract-env",
+                        line: lit.line,
+                        message: format!(
+                            "env var `{}` is not registered in contracts.toml; register \
+                             it (name + override + doc) or fix the typo — unregistered \
+                             reads are how kill switches silently die",
+                            lit.text
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None if !is_trace => out.push(Finding {
+                    rule: "contract-env",
+                    line: toks[i].line,
+                    message: format!(
+                        "`{}` with a non-literal name: environment reads must use a literal \
+                         `VMIN_*` key so the contract registry can verify them (only \
+                         vmin-trace's env helpers may forward a name)",
+                        toks[i].text
+                    ),
+                }),
+                None => {}
+            }
+        }
+        if is_trace {
+            continue;
+        }
+        if let Some((kind, open)) = metric_call_at(toks, i) {
+            match literal_first_arg(toks, open) {
+                Some(lit) => {
+                    if !reg.metric_registered(&lit.text, kind) {
+                        let others = reg.metric_kinds_of(&lit.text);
+                        let hint = if others.is_empty() {
+                            "register it in contracts.toml or fix the typo".to_string()
+                        } else {
+                            format!("it is registered as {} — kind mismatch", others.join("/"))
+                        };
+                        out.push(Finding {
+                            rule: "contract-metric",
+                            line: lit.line,
+                            message: format!(
+                                "metric `{}` is not registered as a {kind} in contracts.toml; \
+                                 {hint}",
+                                lit.text
+                            ),
+                        });
+                    }
+                }
+                None => out.push(Finding {
+                    rule: "contract-metric",
+                    line: toks[i].line,
+                    message: format!(
+                        "`{}` with a non-literal metric name: vmin_trace names must be \
+                         string literals so the registry can verify them",
+                        toks[i].text
+                    ),
+                }),
+            }
+        }
+    }
+}
+
+/// Collects contract observations (literal `VMIN_*` env names and metric
+/// `(name, kind)` pairs in non-test code) for `--update-contracts`.
+/// Collection is registry-independent so a bootstrap run sees everything.
+pub fn observe_contracts(crate_name: &str, toks: &[Token], obs: &mut Observations) {
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        if let Some(open) = env_read_at(toks, i) {
+            if let Some(lit) = literal_first_arg(toks, open) {
+                if lit.text.starts_with("VMIN_") {
+                    obs.envs.insert(lit.text.clone());
+                }
+            }
+        }
+        if crate_name == "vmin-trace" {
+            continue;
+        }
+        if let Some((kind, open)) = metric_call_at(toks, i) {
+            if let Some(lit) = literal_first_arg(toks, open) {
+                obs.metrics.insert((lit.text.clone(), kind.to_string()));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ratchets: hot-path indexing and lossy casts.
+// ---------------------------------------------------------------------------
+
+/// `(crate, file)` pairs where unchecked indexing is ratcheted.
+const HOT_MODULES: &[(&str, &str)] = &[
+    ("vmin-models", "gbt.rs"),
+    ("vmin-models", "hist.rs"),
+    ("vmin-models", "oblivious.rs"),
+    ("vmin-models", "fitplan.rs"),
+    ("vmin-models", "tree.rs"),
+    ("vmin-linalg", "matrix.rs"),
+    ("vmin-linalg", "cholesky.rs"),
+    ("vmin-linalg", "qr.rs"),
+    ("vmin-linalg", "vector.rs"),
+    ("vmin-linalg", "stats.rs"),
+];
+
+/// Keywords that may precede `[` without it being an index expression
+/// (slice patterns, array expressions in bindings/returns).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "return", "if", "else", "while", "match", "move", "mut", "ref", "as", "box",
+    "for", "loop", "break", "continue", "where", "impl", "dyn", "fn", "const", "static", "type",
+    "use", "pub",
+];
+
+/// The `hot-unchecked-index` ratchet: `expr[..]` in hot-path modules.
+fn check_hot_index(ctx: &FileCtx<'_>, toks: &[Token], out: &mut Vec<Finding>) {
+    if !HOT_MODULES.contains(&(ctx.crate_name, ctx.file_name)) {
+        return;
+    }
+    for i in 1..toks.len() {
+        let t = &toks[i];
+        if t.in_test || !(t.kind == TokKind::Punct && t.text == "[") {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let indexes = match prev.kind {
+            TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+            TokKind::Punct => prev.text == ")" || prev.text == "]",
+            _ => false,
+        };
+        if indexes {
+            out.push(Finding {
+                rule: "hot-unchecked-index",
+                line: t.line,
+                message: "unchecked `[..]` indexing in a hot-path module panics on a bad \
+                          index deep inside a fit; prefer iterators/split_at/get (the \
+                          baseline ratchet counts this)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Cast targets the `lossy-as-cast` ratchet flags. Casts to
+/// `usize`/`u64`/`i64`/`f64` are excluded: in this workspace those are
+/// widening index/accumulator conversions, and flagging them would bury
+/// the truncating minority in noise.
+const LOSSY_CAST_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// The `lossy-as-cast` ratchet.
+fn check_lossy_cast(_ctx: &FileCtx<'_>, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != TokKind::Ident || t.text != "as" {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if target.kind == TokKind::Ident && LOSSY_CAST_TARGETS.contains(&target.text.as_str()) {
+            out.push(Finding {
+                rule: "lossy-as-cast",
+                line: t.line,
+                message: format!(
+                    "`as {}` silently truncates/wraps out-of-range values; use `TryFrom`/\
+                     `try_into` or a checked helper (the baseline ratchet counts this)",
+                    target.text
+                ),
+            });
+        }
+    }
 }
 
 /// After `partial_cmp` at index `i`, detects `( .. ) . unwrap|expect (`;
 /// returns the panicking method's name when the pattern matches.
 fn partial_cmp_unwrap(toks: &[Token], i: usize) -> Option<&'static str> {
-    if toks.get(i + 1)?.text != "(" {
+    use crate::lexer::punct_is;
+    if !punct_is(toks, i + 1, "(") {
         return None;
     }
     let mut depth = 0i32;
     let mut k = i + 1;
     while k < toks.len() {
-        match toks[k].text.as_str() {
-            "(" => depth += 1,
-            ")" => {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
+        if punct_is(toks, k, "(") {
+            depth += 1;
+        } else if punct_is(toks, k, ")") {
+            depth -= 1;
+            if depth == 0 {
+                break;
             }
-            _ => {}
         }
         k += 1;
     }
-    if toks.get(k + 1)?.text != "." {
+    if !punct_is(toks, k + 1, ".") {
         return None;
     }
     let method = toks.get(k + 2)?;
-    if method.kind != TokKind::Ident || toks.get(k + 3)?.text != "(" {
+    if method.kind != TokKind::Ident || !punct_is(toks, k + 3, "(") {
         return None;
     }
     match method.text.as_str() {
@@ -386,27 +1130,28 @@ fn partial_cmp_unwrap(toks: &[Token], i: usize) -> Option<&'static str> {
 /// True when the stream contains the inner attribute
 /// `#![forbid(unsafe_code)]` (possibly alongside other forbidden lints).
 fn has_forbid_unsafe(toks: &[Token]) -> bool {
+    use crate::lexer::punct_is;
     for (i, t) in toks.iter().enumerate() {
-        if t.text == "forbid"
+        if t.kind == TokKind::Ident
+            && t.text == "forbid"
             && i >= 3
-            && toks[i - 1].text == "["
-            && toks[i - 2].text == "!"
-            && toks[i - 3].text == "#"
-            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+            && punct_is(toks, i - 1, "[")
+            && punct_is(toks, i - 2, "!")
+            && punct_is(toks, i - 3, "#")
+            && punct_is(toks, i + 1, "(")
         {
             let mut k = i + 1;
             let mut depth = 0i32;
             while k < toks.len() {
-                match toks[k].text.as_str() {
-                    "(" => depth += 1,
-                    ")" => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
+                if punct_is(toks, k, "(") {
+                    depth += 1;
+                } else if punct_is(toks, k, ")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
                     }
-                    "unsafe_code" => return true,
-                    _ => {}
+                } else if toks[k].kind == TokKind::Ident && toks[k].text == "unsafe_code" {
+                    return true;
                 }
                 k += 1;
             }

@@ -5,13 +5,36 @@
 //! takes. Each rule is exercised in both directions: a snippet that must
 //! fire and near-miss snippets that must not.
 
-use vmin_lint::engine::lint_source;
+use vmin_lint::contracts::{self, ContractRegistry};
+use vmin_lint::engine::{lint_source, lint_source_with};
 use vmin_lint::rules::{rule_info, Severity, NUMERIC_CRATES, RULES};
 
 /// Rules that fired (unsuppressed) for `src` linted as a non-root file of
 /// `crate_name`.
 fn fired(crate_name: &str, src: &str) -> Vec<&'static str> {
     lint_source(crate_name, false, src)
+        .0
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+/// A small registry for the `contract-*` fixtures: one env var and one
+/// counter registered.
+fn test_registry() -> ContractRegistry {
+    contracts::parse(
+        "schema = \"vmin-contracts/v1\"\n\n\
+         [[env]]\nname = \"VMIN_TRACE\"\ndoc = \"d\"\n\n\
+         [[metric]]\nname = \"models.gbt.fits\"\nkind = \"counter\"\ndoc = \"d\"\n",
+    )
+    .expect("test registry parses")
+}
+
+/// [`fired`] with the full file context: file base name (hot-module
+/// scoping) and the test contract registry.
+fn fired_in(crate_name: &str, file_name: &str, src: &str) -> Vec<&'static str> {
+    let reg = test_registry();
+    lint_source_with(crate_name, file_name, false, Some(&reg), src)
         .0
         .into_iter()
         .map(|f| f.rule)
@@ -250,6 +273,263 @@ fn seeded_violation_in_vmin_linalg_is_denied() {
 }
 
 #[test]
+fn par_mut_capture_fires_on_captured_state_writes() {
+    // The acceptance-criterion scenario: a par closure accumulating into a
+    // captured variable is scheduling-order-dependent — denied.
+    let compound = "fn f(xs: &[f64]) -> f64 {\n\
+                    let mut acc = 0.0;\n\
+                    par_map(xs, 8, |x| { acc += x; 0.0 });\n\
+                    acc\n}";
+    assert_eq!(fired("vmin-models", compound), vec!["par-mut-capture"]);
+    let plain = "fn f(xs: &[f64]) { let mut last = 0.0;\n\
+                 par_map(xs, 8, |x| { last = *x; 0.0 }); }";
+    assert_eq!(fired("vmin-conformal", plain), vec!["par-mut-capture"]);
+    let borrow = "fn f(xs: &[f64], sink: Vec<f64>) {\n\
+                  par_map(xs, 8, |x| { push_all(&mut sink); *x });\n}";
+    assert_eq!(fired("vmin-core", borrow), vec!["par-mut-capture"]);
+}
+
+#[test]
+fn par_mut_capture_allows_locals_params_and_chunks() {
+    for src in [
+        // Closure-local accumulator.
+        "fn f(xs: &[f64]) { par_map(xs, 8, |x| { let mut a = 0.0; a += x; a }); }",
+        // Writing through the chunk the entry point hands the task.
+        "fn f(d: &mut [f64]) { par_chunks_mut(d, 64, 2, |bi, chunk| {\n\
+         for p in chunk.iter_mut() { *p += 1.0; } chunk[0] = 0.0; }); }",
+        // `&mut` in type position is not a borrow of captured state.
+        "fn f(xs: &[f64]) { par_map(xs, 8, |x: &mut f64| { *x }); }",
+        // Same patterns in vmin-par itself (the implementation) are exempt.
+        "fn par_map() { let mut n = 0; join(|| { n += 1; }, || {}); }",
+    ] {
+        let hits = fired("vmin-models", src);
+        assert!(
+            !hits.contains(&"par-mut-capture"),
+            "false positive in {src:?}: {hits:?}"
+        );
+    }
+    assert!(fired("vmin-par", "fn f(x: &mut u8) { *x = 1; }").is_empty());
+}
+
+#[test]
+fn par_interior_mut_fires_on_cells_and_atomics_in_closures() {
+    let refcell = "fn f(xs: &[f64]) { par_map(xs, 8, |x| {\n\
+                   SCRATCH.with(|s| s.borrow_mut().push(*x)); 0.0 }); }";
+    let hits = fired("vmin-models", refcell);
+    assert!(hits.iter().all(|r| *r == "par-interior-mut"), "{hits:?}");
+    assert!(!hits.is_empty());
+    let atomic = "fn f(xs: &[f64]) { par_map(xs, 8, |x| { HITS.fetch_add(1, Relaxed); *x }); }";
+    let hits = fired("vmin-conformal", atomic);
+    assert!(hits.iter().all(|r| *r == "par-interior-mut"), "{hits:?}");
+    let mutex = "fn f(xs: &[f64]) { par_map(xs, 8, |x| { let g = Mutex::new(*x); *x }); }";
+    assert_eq!(fired("vmin-core", mutex), vec!["par-interior-mut"]);
+}
+
+#[test]
+fn par_interior_mut_allows_use_outside_closures() {
+    // Interior mutability outside the par closure (e.g. a thread-local
+    // scratch inside a plain helper the closure never touches) is fine.
+    let src = "fn scan(buf: &RefCell<Vec<f64>>) { buf.borrow_mut().clear(); }\n\
+               fn f(xs: &[f64]) { par_map(xs, 8, |x| *x); }";
+    assert!(fired("vmin-models", src).is_empty());
+    // `swap` is not an interior-mut method: slice swaps on owned chunks.
+    let swap = "fn f(d: &mut [f64]) { par_chunks_mut(d, 8, 2, |bi, c| { c.swap(0, 1); }); }";
+    assert!(fired("vmin-models", swap).is_empty());
+}
+
+#[test]
+fn par_rng_construct_requires_a_per_task_seed() {
+    let fixed = "fn f(xs: &[f64]) { par_map(xs, 8, |x| {\n\
+                 let mut rng = ChaCha8Rng::seed_from_u64(42); rng.next_f64() }); }";
+    assert_eq!(fired("vmin-silicon", fixed), vec!["par-rng-construct"]);
+    let captured_only = "fn f(xs: &[f64], base: u64) { par_map(xs, 8, |x| {\n\
+                         let mut rng = ChaCha8Rng::seed_from_u64(base); rng.next_f64() }); }";
+    assert_eq!(
+        fired("vmin-silicon", captured_only),
+        vec!["par-rng-construct"]
+    );
+}
+
+#[test]
+fn par_rng_construct_allows_param_derived_seeds() {
+    // Seed mixes in the task's own parameter — every task draws a distinct,
+    // deterministic stream.
+    let per_item = "fn f(n: usize, base: u64) { par_map(&idx(n), 8, |i| {\n\
+                    let mut rng = ChaCha8Rng::seed_from_u64(base ^ (*i as u64)); rng.next_f64()\n\
+                    }); }";
+    assert!(fired("vmin-silicon", per_item).is_empty());
+    // Constructors outside par closures are vmin-rng's normal business.
+    let outside = "fn f(base: u64) { let rng = ChaCha8Rng::seed_from_u64(base); }";
+    assert!(fired("vmin-silicon", outside).is_empty());
+}
+
+#[test]
+fn par_float_reduce_fires_on_chained_reductions() {
+    let sum = "fn f(xs: &[f64]) -> f64 { par_map(xs, 8, |x| x * 2.0).iter().sum() }";
+    assert_eq!(fired("vmin-linalg", sum), vec!["par-float-reduce"]);
+    let product = "fn f(xs: &[f64]) -> f64 { par_map(xs, 8, |x| *x).into_iter().product() }";
+    assert_eq!(fired("vmin-models", product), vec!["par-float-reduce"]);
+    let fold = "fn f(xs: &[f64]) -> f64 {\n\
+                par_map(xs, 8, |x| *x).iter().fold(0.0, |a, b| a + b) }";
+    assert_eq!(fired("vmin-conformal", fold), vec!["par-float-reduce"]);
+}
+
+#[test]
+fn par_float_reduce_allows_bound_results_and_non_additive_folds() {
+    // Binding the Vec first pins the reduction order by construction —
+    // that is exactly the rewrite the rule's message asks for.
+    let bound = "fn f(xs: &[f64]) -> f64 {\n\
+                 let v = par_map(xs, 8, |x| x * 2.0);\n\
+                 v.iter().sum() }";
+    assert!(fired("vmin-linalg", bound).is_empty());
+    // A max-fold is order-independent over floats (no rounding drift).
+    let maxfold = "fn f(xs: &[f64]) -> f64 {\n\
+                   par_map(xs, 8, |x| *x).iter().fold(f64::MIN, |a, b| a.max(*b)) }";
+    assert!(fired("vmin-linalg", maxfold).is_empty());
+    // `.sum()` on a non-par iterator is untouched.
+    assert!(fired("vmin-linalg", "fn f(v: &[f64]) -> f64 { v.iter().sum() }").is_empty());
+}
+
+#[test]
+fn contract_env_fires_on_unregistered_and_non_literal_reads() {
+    // The acceptance-criterion scenario: a typo'd env var name — the kill
+    // switch would silently never fire.
+    let typo = "fn f() -> bool { std::env::var(\"VMIN_HITS\").is_ok() }";
+    assert_eq!(
+        fired_in("vmin-models", "lib.rs", typo),
+        vec!["contract-env"]
+    );
+    let helper_typo = "fn f() -> bool { env_flag(\"VMIN_TRCE\", true) }";
+    assert_eq!(
+        fired_in("vmin-models", "lib.rs", helper_typo),
+        vec!["contract-env"]
+    );
+    let dynamic = "fn f(name: &str) { let _ = std::env::var(name); }";
+    assert_eq!(
+        fired_in("vmin-core", "lib.rs", dynamic),
+        vec!["contract-env"]
+    );
+}
+
+#[test]
+fn contract_env_allows_registered_reads_and_trace_helpers() {
+    let registered = "fn f() -> bool { env_flag(\"VMIN_TRACE\", true) }";
+    assert!(fired_in("vmin-models", "lib.rs", registered).is_empty());
+    // Non-VMIN_* reads (HOME, CARGO_*) are out of the registry's scope.
+    let foreign = "fn f() { let _ = std::env::var(\"CARGO_MANIFEST_DIR\"); }";
+    assert!(fired_in("vmin-core", "lib.rs", foreign).is_empty());
+    // vmin-trace owns the helpers, so it may forward a non-literal name.
+    let forward = "pub fn env_flag(name: &str, default: bool) -> bool {\n\
+                   match std::env::var(name) { Ok(_) => true, Err(_) => default } }";
+    assert!(fired_in("vmin-trace", "lib.rs", forward).is_empty());
+    // Without a loaded registry the rule stays silent (CLI enforces
+    // presence in --deny mode instead).
+    let typo = "fn f() -> bool { std::env::var(\"VMIN_HITS\").is_ok() }";
+    assert!(fired("vmin-models", typo).is_empty());
+}
+
+#[test]
+fn contract_metric_fires_on_unregistered_names_and_kind_mismatches() {
+    // The acceptance-criterion scenario: an unregistered counter name.
+    let unregistered = "fn f() { vmin_trace::counter_add(\"models.gbt.nope\", 1); }";
+    assert_eq!(
+        fired_in("vmin-models", "gbt2.rs", unregistered),
+        vec!["contract-metric"]
+    );
+    // Registered name, wrong kind: the counter is not also a span.
+    let mismatch = "fn f() { let _s = vmin_trace::span(\"models.gbt.fits\"); }";
+    assert_eq!(
+        fired_in("vmin-models", "gbt2.rs", mismatch),
+        vec!["contract-metric"]
+    );
+    let dynamic = "fn f(name: &'static str) { vmin_trace::counter_add(name, 1); }";
+    assert_eq!(
+        fired_in("vmin-models", "gbt2.rs", dynamic),
+        vec!["contract-metric"]
+    );
+}
+
+#[test]
+fn contract_metric_allows_registered_calls_and_the_trace_crate() {
+    let registered = "fn f() { vmin_trace::counter_add(\"models.gbt.fits\", 1); }";
+    assert!(fired_in("vmin-models", "gbt2.rs", registered).is_empty());
+    // vmin-trace's own internals (record plumbing, tests of the API) are
+    // exempt — it defines the functions, it does not emit named metrics.
+    let inside_trace = "fn t() { counter_add(\"anything.goes\", 1); }";
+    assert!(fired_in("vmin-trace", "lib.rs", inside_trace).is_empty());
+    // A method named like a metric emitter is not the free function.
+    let method = "fn f(t: &Tracer) { t.span(\"not.a.metric\"); }";
+    assert!(fired_in("vmin-models", "gbt2.rs", method).is_empty());
+    // Test code may use ad-hoc names.
+    let in_test = "#[cfg(test)]\nmod tests {\n\
+                   fn t() { vmin_trace::counter_add(\"tmp.name\", 1); } }";
+    assert!(fired_in("vmin-models", "gbt2.rs", in_test).is_empty());
+}
+
+#[test]
+fn hot_unchecked_index_is_scoped_to_hot_modules() {
+    let src = "fn f(v: &[f64], i: usize) -> f64 { v[i] + v[i + 1] }";
+    assert_eq!(
+        fired_in("vmin-models", "gbt.rs", src),
+        vec!["hot-unchecked-index", "hot-unchecked-index"]
+    );
+    assert_eq!(
+        fired_in("vmin-linalg", "cholesky.rs", src),
+        vec!["hot-unchecked-index", "hot-unchecked-index"]
+    );
+    // Same code outside the hot list: unflagged.
+    assert!(fired_in("vmin-models", "traits.rs", src).is_empty());
+    assert!(fired_in("vmin-core", "gbt.rs", src).is_empty());
+}
+
+#[test]
+fn hot_unchecked_index_skips_patterns_attributes_and_tests() {
+    for src in [
+        // Slice pattern, not an index.
+        "fn f(pair: [f64; 2]) { let [a, b] = pair; }",
+        // Array expression in a binding.
+        "fn f() { let edges = [0.0, 0.5, 1.0]; }",
+        // Attribute brackets.
+        "#[derive(Clone)]\npub struct S;",
+        // Iterator access instead of indexing.
+        "fn f(v: &[f64]) -> f64 { v.iter().copied().fold(0.0, f64::max) }",
+        // Indexing in test code.
+        "#[cfg(test)]\nmod tests { fn t(v: &[f64]) -> f64 { v[0] } }",
+    ] {
+        let hits = fired_in("vmin-models", "gbt.rs", src);
+        assert!(
+            !hits.contains(&"hot-unchecked-index"),
+            "false positive in {src:?}: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn lossy_as_cast_fires_on_truncating_targets_only() {
+    assert_eq!(
+        fired("vmin-models", "fn f(x: u64) -> u32 { x as u32 }"),
+        vec!["lossy-as-cast"]
+    );
+    assert_eq!(
+        fired("vmin-rng", "fn f(x: f64) -> f32 { x as f32 }"),
+        vec!["lossy-as-cast"]
+    );
+    assert_eq!(
+        fired("vmin-trace", "fn f(x: i64) -> i16 { x as i16 }"),
+        vec!["lossy-as-cast"]
+    );
+    // Widening / index casts are this workspace's bread and butter.
+    for src in [
+        "fn f(x: u32) -> usize { x as usize }",
+        "fn f(x: u32) -> u64 { x as u64 }",
+        "fn f(x: usize) -> f64 { x as f64 }",
+        "#[cfg(test)]\nmod tests { fn t(x: u64) -> u32 { x as u32 } }",
+    ] {
+        assert!(fired("vmin-models", src).is_empty(), "{src}");
+    }
+}
+
+#[test]
 fn every_shipped_rule_has_fixture_coverage() {
     // Meta-test: the fixtures above must collectively exercise each rule's
     // firing direction. Reconstructs the set from this file's assertions.
@@ -265,6 +545,19 @@ fn every_shipped_rule_has_fixture_coverage() {
         "panic-unwrap",
         "panic-expect",
         "panic-macro",
+        "par-mut-capture",
+        "par-interior-mut",
+        "par-rng-construct",
+        "par-float-reduce",
+        "contract-env",
+        "contract-metric",
+        "hot-unchecked-index",
+        "lossy-as-cast",
+        // Workspace-scoped rules: exercised end-to-end (seeded temp
+        // workspace through `scan_workspace`) in tests/v2_acceptance.rs,
+        // since they have no per-file firing path for `lint_source`.
+        "dead-pub-item",
+        "suppression-budget",
     ];
     for r in RULES {
         assert!(

@@ -1,0 +1,230 @@
+//! End-to-end acceptance for the v2 semantic analyzer: a seeded throwaway
+//! workspace carrying one violation per new rule family must be rejected
+//! with the right rule ids, the right ratchet keys and a `vmin-lint/v2`
+//! JSON report. This is the only place `dead-pub-item` and
+//! `suppression-budget` can be exercised in the firing direction — both
+//! exist only at workspace scope, so the per-file fixtures in
+//! `rule_fixtures.rs` cannot reach them.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use vmin_lint::baseline;
+use vmin_lint::contracts::{self, ContractRegistry};
+use vmin_lint::engine::scan_workspace;
+use vmin_lint::report::{is_clean, render_json};
+
+/// A scratch workspace under the system temp dir, removed on drop.
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    /// Creates `<tmp>/<name>-<pid>/crates/badcrate/src/lib.rs` holding
+    /// `lib_src`.
+    fn seeded(name: &str, lib_src: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("{name}-{}", std::process::id()));
+        let src_dir = root.join("crates").join("badcrate").join("src");
+        fs::create_dir_all(&src_dir).expect("create temp workspace");
+        fs::write(src_dir.join("lib.rs"), lib_src).expect("write seeded lib.rs");
+        TempWorkspace { root }
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// The registry the seeded scans enforce: one env var and one counter, so
+/// the typo'd/unregistered fixtures have something to miss.
+fn registry() -> ContractRegistry {
+    contracts::parse(
+        "schema = \"vmin-contracts/v1\"\n\n\
+         [[env]]\nname = \"VMIN_TRACE\"\ndoc = \"d\"\n\n\
+         [[metric]]\nname = \"models.gbt.fits\"\nkind = \"counter\"\ndoc = \"d\"\n",
+    )
+    .expect("test registry parses")
+}
+
+/// One violation per family — comments in the fixture mark which line is
+/// meant to trip which rule.
+const SEEDED_LIB: &str = r#"#![forbid(unsafe_code)]
+//! Seeded fixture crate: every block below exists to trip one rule.
+
+fn stream_mean(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    par_map(xs, 8, |x| {
+        acc += *x; // par-mut-capture: scheduling-order-dependent
+        0.0
+    });
+    acc
+}
+
+fn hits_enabled() -> bool {
+    std::env::var("VMIN_HITS").is_ok() // contract-env: typo'd, unregistered
+}
+
+fn record_fit() {
+    vmin_trace::counter_add("models.gbt.nope", 1); // contract-metric: unregistered
+}
+
+pub fn orphan_helper() -> usize {
+    7
+}
+
+// vmin-lint: allow(dead-pub-item)
+pub fn waived_helper() -> f64 {
+    0.5
+}
+"#;
+
+#[test]
+fn seeded_violations_are_rejected_with_the_right_rule_ids() {
+    let ws = TempWorkspace::seeded("vmin-lint-v2-accept", SEEDED_LIB);
+    let reg = registry();
+    let report = scan_workspace(&ws.root, Some(&reg)).expect("scan seeded workspace");
+    assert_eq!(report.files_scanned, 1);
+
+    // Exactly the three seeded deny violations, no more, no less.
+    let mut deny_rules: Vec<&str> = report.deny.iter().map(|d| d.finding.rule).collect();
+    deny_rules.sort_unstable();
+    assert_eq!(
+        deny_rules,
+        vec!["contract-env", "contract-metric", "par-mut-capture"],
+        "deny set:\n{}",
+        report
+            .deny
+            .iter()
+            .map(vmin_lint::report::render_diagnostic)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    for d in &report.deny {
+        assert_eq!(d.crate_name, "badcrate");
+        assert_eq!(d.file, "crates/badcrate/src/lib.rs");
+    }
+    let env_diag = report
+        .deny
+        .iter()
+        .find(|d| d.finding.rule == "contract-env")
+        .expect("contract-env diagnostic");
+    assert!(
+        env_diag.finding.message.contains("VMIN_HITS"),
+        "message names the typo'd var: {}",
+        env_diag.finding.message
+    );
+    let metric_diag = report
+        .deny
+        .iter()
+        .find(|d| d.finding.rule == "contract-metric")
+        .expect("contract-metric diagnostic");
+    assert!(
+        metric_diag.finding.message.contains("models.gbt.nope"),
+        "message names the unregistered metric: {}",
+        metric_diag.finding.message
+    );
+
+    // Workspace-scoped ratchets: `orphan_helper` is dead, `waived_helper`
+    // is waived (feeding `suppressed`), and the two allow-comments spend
+    // from the suppression budget whether or not a finding lands on them.
+    assert_eq!(
+        report.ratchet_counts.get("dead-pub-item/badcrate"),
+        Some(&1)
+    );
+    assert_eq!(
+        report.ratchet_counts.get("suppression-budget/badcrate"),
+        Some(&1)
+    );
+    assert_eq!(report.suppressed, 1);
+    assert_eq!(report.dead_pub.len(), 1);
+    let dead = &report.dead_pub[0];
+    assert_eq!(dead.finding.rule, "dead-pub-item");
+    assert!(dead.finding.message.contains("orphan_helper"));
+    assert_eq!(dead.file, "crates/badcrate/src/lib.rs");
+
+    // The typo'd reads still land in the observations, so
+    // `--update-contracts` bootstrapping sees exactly what the tree does.
+    assert!(report.observations.envs.contains("VMIN_HITS"));
+    assert!(report
+        .observations
+        .metrics
+        .contains(&("models.gbt.nope".to_string(), "counter".to_string())));
+
+    // And the machine-readable report carries it all under the v2 schema.
+    let ratchet = baseline::compare(&report.ratchet_counts, &BTreeMap::new());
+    assert!(!is_clean(&report, &ratchet));
+    let json = render_json(&report, &ratchet, true, Some(&reg));
+    assert!(json.contains("\"schema\": \"vmin-lint/v2\""));
+    assert!(json.contains("\"status\": \"violations\""));
+    assert!(json.contains("\"enforced\": true"));
+    for needle in [
+        "\"rule\": \"par-mut-capture\"",
+        "\"rule\": \"contract-env\"",
+        "\"rule\": \"contract-metric\"",
+        "\"rule\": \"dead-pub-item\"",
+        "\"rule\": \"suppression-budget\"",
+        "orphan_helper",
+    ] {
+        assert!(json.contains(needle), "JSON report lacks {needle}:\n{json}");
+    }
+}
+
+#[test]
+fn fixed_workspace_comes_back_clean() {
+    // The same crate with every violation repaired the way the rule
+    // messages ask: per-task accumulation returned from the closure, the
+    // registered env var and metric name, the orphan deleted.
+    let fixed = r#"#![forbid(unsafe_code)]
+
+pub fn stream_mean(xs: &[f64]) -> f64 {
+    let parts = par_map(xs, 8, |x| *x);
+    parts.iter().fold(0.0, |a, b| a + b) / xs.len() as f64
+}
+
+pub fn trace_enabled() -> bool {
+    std::env::var("VMIN_TRACE").is_ok()
+}
+
+pub fn record_fit() {
+    vmin_trace::counter_add("models.gbt.fits", 1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mean_of_empty_is_nan() {
+        assert!(super::stream_mean(&[]).is_nan());
+        super::record_fit();
+        let _ = super::trace_enabled();
+    }
+}
+"#;
+    let ws = TempWorkspace::seeded("vmin-lint-v2-clean", fixed);
+    let reg = registry();
+    let report = scan_workspace(&ws.root, Some(&reg)).expect("scan fixed workspace");
+    assert!(
+        report.deny.is_empty(),
+        "unexpected deny:\n{}",
+        report
+            .deny
+            .iter()
+            .map(vmin_lint::report::render_diagnostic)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The pub items are referenced from the in-crate test module, so the
+    // dead-pub post-pass keeps quiet; nothing is suppressed anywhere.
+    assert!(
+        report.ratchet_counts.is_empty(),
+        "{:?}",
+        report.ratchet_counts
+    );
+    assert_eq!(report.suppressed, 0);
+    assert!(report.dead_pub.is_empty());
+    let ratchet = baseline::compare(&report.ratchet_counts, &BTreeMap::new());
+    assert!(is_clean(&report, &ratchet));
+    let json = render_json(&report, &ratchet, true, Some(&reg));
+    assert!(json.contains("\"status\": \"clean\""));
+}

@@ -6,6 +6,7 @@
 
 use std::path::Path;
 use vmin_lint::baseline;
+use vmin_lint::contracts::{self, ContractRegistry};
 use vmin_lint::engine::scan_workspace;
 use vmin_lint::report::{is_clean, render_json};
 
@@ -17,9 +18,18 @@ fn workspace_root() -> &'static Path {
         .expect("workspace root above crates/vmin-lint")
 }
 
+/// The checked-in contract registry — the scan must run with the same
+/// registry CI enforces.
+fn registry() -> ContractRegistry {
+    contracts::load(&workspace_root().join(contracts::CONTRACTS_FILE))
+        .expect("parse contracts.toml")
+        .expect("contracts.toml is checked in")
+}
+
 #[test]
 fn workspace_passes_the_deny_gate() {
-    let report = scan_workspace(workspace_root()).expect("scan workspace");
+    let reg = registry();
+    let report = scan_workspace(workspace_root(), Some(&reg)).expect("scan workspace");
     assert!(
         report.files_scanned > 70,
         "suspiciously few files scanned: {}",
@@ -40,7 +50,8 @@ fn workspace_passes_the_deny_gate() {
 #[test]
 fn workspace_ratchet_has_no_regressions_and_tight_baseline() {
     let root = workspace_root();
-    let report = scan_workspace(root).expect("scan workspace");
+    let reg = registry();
+    let report = scan_workspace(root, Some(&reg)).expect("scan workspace");
     let previous = baseline::load(&root.join("lint-baseline.json"))
         .expect("parse lint-baseline.json")
         .expect("lint-baseline.json is checked in");
@@ -64,10 +75,36 @@ fn workspace_ratchet_has_no_regressions_and_tight_baseline() {
         rewritten, on_disk,
         "lint-baseline.json is stale; run `cargo run -p vmin-lint -- --update-baseline`"
     );
-    // And the report over the live tree must come out clean.
-    let json = render_json(&report, &ratchet, true);
+    // And the report over the live tree must come out clean, under the v2
+    // schema, with the registry marked enforced.
+    let json = render_json(&report, &ratchet, true, Some(&reg));
     assert!(is_clean(&report, &ratchet));
     assert!(json.contains("\"status\": \"clean\""));
+    assert!(json.contains("\"schema\": \"vmin-lint/v2\""));
+    assert!(json.contains("\"enforced\": true"));
+}
+
+#[test]
+fn contract_registry_is_tight_and_round_trips() {
+    // `--update-contracts` on the current tree must be a byte-for-byte
+    // no-op: every registered entry observed, canonical formatting, docs
+    // preserved. A stale registry (dropped code, renamed metric) fails
+    // here before CI's git-diff check does.
+    let root = workspace_root();
+    let report = scan_workspace(root, None).expect("scan workspace");
+    let reg = registry();
+    let (rewritten, dropped) =
+        contracts::tighten(&report.observations, Some(&reg)).expect("tighten contracts");
+    assert!(
+        dropped.is_empty(),
+        "stale contract entries (run --update-contracts): {dropped:?}"
+    );
+    let on_disk =
+        std::fs::read_to_string(root.join(contracts::CONTRACTS_FILE)).expect("read contracts.toml");
+    assert_eq!(
+        rewritten, on_disk,
+        "contracts.toml is not canonical; run `cargo run -p vmin-lint -- --update-contracts`"
+    );
 }
 
 /// Recursively collects `.rs` files under `dir` into `out`.

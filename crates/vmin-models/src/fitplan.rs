@@ -54,16 +54,12 @@ static FIT_CACHE_FLAG: OnceLock<AtomicBool> = OnceLock::new();
 static FIT_CACHE_LOCK: Mutex<()> = Mutex::new(());
 
 fn fit_cache_flag() -> &'static AtomicBool {
-    FIT_CACHE_FLAG.get_or_init(|| {
-        let on = std::env::var("VMIN_FITPLAN")
-            .map(|v| v != "0")
-            .unwrap_or(true);
-        AtomicBool::new(on)
-    })
+    FIT_CACHE_FLAG.get_or_init(|| AtomicBool::new(vmin_trace::env_flag("VMIN_FITPLAN", true)))
 }
 
 /// Whether the fit-plan cache is active. Defaults to on; the environment
-/// variable `VMIN_FITPLAN=0` (read once per process) disables it, as does
+/// variable `VMIN_FITPLAN` (read once per process via
+/// [`vmin_trace::env_flag`]; `0`/`false`/`off` disable) turns it off, as does
 /// [`set_fit_cache_enabled`]. The flag only selects *which code path* runs;
 /// outputs are byte-identical either way.
 pub fn fit_cache_enabled() -> bool {

@@ -107,7 +107,7 @@ impl GradientBoost {
         self.loss.validate()?;
         let n = x.rows();
         self.n_features = x.cols();
-        self.base_score = self.loss.optimal_constant(y);
+        self.base_score = self.loss.optimal_constant(y)?;
         self.trees.clear();
 
         let _span = vmin_trace::span("models.gbt.fit");

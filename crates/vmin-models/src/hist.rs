@@ -63,14 +63,12 @@ static HIST_FLAG: OnceLock<AtomicBool> = OnceLock::new();
 static HIST_LOCK: Mutex<()> = Mutex::new(());
 
 fn hist_flag() -> &'static AtomicBool {
-    HIST_FLAG.get_or_init(|| {
-        let on = std::env::var("VMIN_HIST").map(|v| v != "0").unwrap_or(true);
-        AtomicBool::new(on)
-    })
+    HIST_FLAG.get_or_init(|| AtomicBool::new(vmin_trace::env_flag("VMIN_HIST", true)))
 }
 
 /// Whether histogram-binned split finding is active. Defaults to on; the
-/// environment variable `VMIN_HIST=0` (read once per process) disables it,
+/// environment variable `VMIN_HIST` (read once per process via
+/// [`vmin_trace::env_flag`]; `0`/`false`/`off` disable) turns it off,
 /// as does [`set_hist_enabled`]. Off means the exact greedy scans run —
 /// byte-for-byte the pre-histogram behavior.
 pub fn hist_enabled() -> bool {

@@ -164,7 +164,7 @@ impl ObliviousBoost {
         self.base_score = if self.params.boost_from_mean {
             vmin_linalg::mean(y)
         } else {
-            self.loss.optimal_constant(y)
+            self.loss.optimal_constant(y)?
         };
         self.trees.clear();
 
@@ -298,15 +298,15 @@ impl ObliviousBoost {
                         .iter()
                         .map(|r| {
                             if r.is_empty() {
-                                0.0
+                                Ok(0.0)
                             } else {
                                 // L2 regularization shrinks the step like a
                                 // pseudo-count, mirroring l2_leaf_reg.
                                 let shrink = r.len() as f64 / (r.len() as f64 + l2);
-                                vmin_linalg::quantile(r, q).expect("non-empty leaf") * shrink
+                                Ok(vmin_linalg::quantile(r, q)? * shrink)
                             }
                         })
-                        .collect()
+                        .collect::<std::result::Result<Vec<f64>, vmin_linalg::LinalgError>>()?
                 }
             };
             let tree = ObliviousTree {
@@ -345,7 +345,7 @@ impl ObliviousBoost {
         self.base_score = if self.params.boost_from_mean {
             vmin_linalg::mean(y)
         } else {
-            self.loss.optimal_constant(y)
+            self.loss.optimal_constant(y)?
         };
         self.trees.clear();
 

@@ -92,15 +92,18 @@ impl Loss {
     /// The optimal constant prediction for this loss on `y` (mean for
     /// squared loss, empirical quantile for pinball).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `y` is empty.
-    pub fn optimal_constant(&self, y: &[f64]) -> f64 {
-        assert!(!y.is_empty(), "optimal_constant of empty targets");
+    /// Returns [`ModelError::InvalidInput`] when `y` is empty.
+    pub fn optimal_constant(&self, y: &[f64]) -> Result<f64> {
+        if y.is_empty() {
+            return Err(ModelError::InvalidInput(
+                "optimal_constant of empty targets".to_string(),
+            ));
+        }
         match *self {
-            Loss::Squared => vmin_linalg::mean(y),
-            Loss::Pinball(q) => vmin_linalg::quantile(y, q.clamp(0.0, 1.0))
-                .expect("non-empty targets and clamped q"),
+            Loss::Squared => Ok(vmin_linalg::mean(y)),
+            Loss::Pinball(q) => Ok(vmin_linalg::quantile(y, q.clamp(0.0, 1.0))?),
         }
     }
 
@@ -254,9 +257,21 @@ mod tests {
     #[test]
     fn optimal_constants() {
         let y = [1.0, 2.0, 3.0, 4.0, 100.0];
-        assert_eq!(Loss::Squared.optimal_constant(&y), 22.0);
+        assert_eq!(Loss::Squared.optimal_constant(&y), Ok(22.0));
         let med = Loss::Pinball(0.5).optimal_constant(&y);
-        assert_eq!(med, 3.0);
+        assert_eq!(med, Ok(3.0));
+    }
+
+    #[test]
+    fn optimal_constant_of_empty_targets_is_an_error() {
+        assert!(matches!(
+            Loss::Squared.optimal_constant(&[]),
+            Err(ModelError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            Loss::Pinball(0.5).optimal_constant(&[]),
+            Err(ModelError::InvalidInput(_))
+        ));
     }
 
     #[test]

@@ -79,9 +79,7 @@ thread_local! {
 fn configured_threads() -> usize {
     static CONFIGURED: OnceLock<usize> = OnceLock::new();
     *CONFIGURED.get_or_init(|| {
-        std::env::var("VMIN_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
+        vmin_trace::env_usize("VMIN_THREADS")
             .filter(|&n| n > 0)
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()

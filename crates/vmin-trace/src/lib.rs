@@ -60,20 +60,36 @@ use metrics::Metric;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
+/// Reads the boolean environment flag `name` with the workspace-standard
+/// semantics: unset → `default`; set to `0`, `false` or `off` (trimmed,
+/// case-insensitive) → `false`; any other value → `true`.
+///
+/// Every `VMIN_*` on/off knob in the workspace goes through this helper
+/// so the toggles behave identically, and every call site must pass a
+/// string literal registered in the root `contracts.toml` — the
+/// `contract-env` lint rule denies unregistered or computed names.
+pub fn env_flag(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off"
+        ),
+        Err(_) => default,
+    }
+}
+
+/// Reads the numeric environment knob `name`: `None` when unset, empty
+/// after trimming, or not a base-10 `usize`. Same registration contract
+/// as [`env_flag`].
+pub fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse::<usize>().ok()
+}
+
 /// Lazily initialized from `VMIN_TRACE` (default on; `0`/`false`/`off`
 /// disable), overridable at runtime via [`set_enabled`].
 fn enabled_flag() -> &'static AtomicBool {
     static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
-    ENABLED.get_or_init(|| {
-        let on = match std::env::var("VMIN_TRACE") {
-            Ok(v) => !matches!(
-                v.trim().to_ascii_lowercase().as_str(),
-                "0" | "false" | "off"
-            ),
-            Err(_) => true,
-        };
-        AtomicBool::new(on)
-    })
+    ENABLED.get_or_init(|| AtomicBool::new(env_flag("VMIN_TRACE", true)))
 }
 
 /// Whether metric recording is active.
