@@ -154,4 +154,46 @@ grep -q '"conformal.adaptive.recalibrations"' target/trace-drift.json
 grep -q '"conformal.adaptive.transitions"' target/trace-drift.json
 grep -q '"core.stream.read_points"' target/trace-drift.json
 
+echo "==> serve leg: equivalence + golden artifacts, kill switch, artifact header"
+# The dedicated serving suites: flattened kernels byte-identical to the
+# live path, and the golden artifact fixtures still decode bit-for-bit.
+cargo test -q --test serve_equivalence
+cargo test -q -p vmin-serve
+# Served interval bits must be identical across the whole serve matrix:
+# thread counts × kill switch (VMIN_SERVE=0 routes through the scalar
+# trait-equivalent path, so this diff IS the kill-switch contract).
+VMIN_SERVE=1 VMIN_THREADS=1 \
+    cargo run -q --release -p vmin-bench --bin serve_smoke target/serve-t1.bin \
+    > target/serve-t1.txt
+VMIN_SERVE=1 VMIN_THREADS=4 \
+    cargo run -q --release -p vmin-bench --bin serve_smoke target/serve-t4.bin \
+    > target/serve-t4.txt
+VMIN_SERVE=0 VMIN_THREADS=1 VMIN_TRACE_JSON=target/trace-serve.json \
+    cargo run -q --release -p vmin-bench --bin serve_smoke target/serve-off.bin \
+    > target/serve-off.txt
+diff target/serve-t1.txt target/serve-t4.txt \
+    || { echo "served bits differ between VMIN_THREADS=1 and 4"; exit 1; }
+diff target/serve-t1.txt target/serve-off.txt \
+    || { echo "VMIN_SERVE=0 bits differ from the flattened kernels"; exit 1; }
+# A freshly written artifact must lead with the versioned magic, and the
+# bytes must not depend on which path served the batch.
+grep -aq 'vmin-artifact/v1' target/serve-t1.bin
+cmp target/serve-t1.bin target/serve-off.bin \
+    || { echo "artifact bytes depend on VMIN_SERVE"; exit 1; }
+# The serving counters must reach the trace export (scalar.rows proves
+# the kill-switch run actually took the scalar path).
+test -s target/trace-serve.json
+grep -q '"serve.rows"' target/trace-serve.json
+grep -q '"serve.scalar.rows"' target/trace-serve.json
+grep -q '"serve.artifact.saves"' target/trace-serve.json
+
+echo "==> bench smoke: serve_throughput writes target/BENCH_PR9.json"
+VMIN_BENCH_JSON="$PWD/target/BENCH_PR9.json" VMIN_BENCH_SAMPLES=3 \
+    cargo bench -p vmin-bench --bench serve_throughput
+test -s target/BENCH_PR9.json
+grep -q '"id": "gbt_trait_dispatch"' target/BENCH_PR9.json
+grep -q '"id": "gbt_flat_batch"' target/BENCH_PR9.json
+grep -q '"id": "catboost_flat_batch"' target/BENCH_PR9.json
+grep -q '"id": "gbt_flat_batch_parallel"' target/BENCH_PR9.json
+
 echo "CI green."

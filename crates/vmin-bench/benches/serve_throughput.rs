@@ -1,0 +1,133 @@
+//! Serving throughput: flattened batch kernels vs per-chip trait dispatch.
+//!
+//! The deployment question PR 9 answers: how many chips per second can a
+//! production tester score against a fitted CQR pair? Every id serves the
+//! *same* fleet batch from the *same* fitted models, single-threaded
+//! (`vmin_par::with_threads(1)`), so the `*_trait_dispatch` /
+//! `*_flat_batch` pairs isolate exactly the kernel change — the outputs
+//! are bit-identical by the serve_equivalence suite, only the time may
+//! differ. The acceptance bar for the PR reads BENCH_PR9.json and requires
+//! flat-batch GBT throughput ≥ 5× trait dispatch at one thread.
+//!
+//! Model scale mirrors the paper's production setting (§IV-C2 defaults:
+//! 100 rounds, depth 6) with a campaign-sized feature set; the batch is a
+//! fleet of [`N_CHIPS`] chips.
+
+use vmin_bench::harness::Criterion;
+use vmin_bench::{criterion_group, criterion_main};
+use vmin_conformal::Cqr;
+use vmin_data::Standardizer;
+use vmin_linalg::Matrix;
+use vmin_models::{
+    GradientBoost, GradientBoostParams, Loss, ObliviousBoost, ObliviousBoostParams, TreeParams,
+};
+use vmin_rng::ChaCha8Rng;
+use vmin_rng::Rng;
+use vmin_rng::SeedableRng;
+use vmin_serve::ServeModel;
+
+/// Fleet size served per iteration — chips/sec = N_CHIPS / (time per iter).
+const N_CHIPS: usize = 2000;
+const N_FEATURES: usize = 24;
+const BLOCK_ROWS: usize = 64;
+/// Training-set size: large enough that depth-6 trees actually grow to
+/// their full ~64 leaves, as they do on a production recalibration set —
+/// tiny training sets yield stub trees that understate serving cost.
+const N_TRAIN: usize = 3000;
+
+fn make_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let signal: f64 = row.iter().take(6).sum::<f64>() * 10.0;
+        rows.push(row);
+        y.push(550.0 + signal + rng.gen_range(-3.0..3.0));
+    }
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let (x_tr_raw, y_tr) = make_data(N_TRAIN, N_FEATURES, 1);
+    let (x_ca_raw, y_ca) = make_data(200, N_FEATURES, 2);
+    let (fleet, _) = make_data(N_CHIPS, N_FEATURES, 3);
+
+    // The paper's pipeline standardizes monitor features before the
+    // quantile regressors (§III), so both serving paths must carry the
+    // standardizer: trait dispatch transforms each chip's row before
+    // predicting, the flat path fuses the same transform into its block
+    // gather.
+    let scaler = Standardizer::fit(&x_tr_raw);
+    let x_tr = scaler.transform(&x_tr_raw).unwrap();
+    let x_ca = scaler.transform(&x_ca_raw).unwrap();
+
+    // Paper-default model scale (100 rounds, depth 6) for both families.
+    let gbt_params = GradientBoostParams {
+        tree: TreeParams {
+            max_depth: 6,
+            ..TreeParams::default()
+        },
+        ..GradientBoostParams::default()
+    };
+    let mut gbt_cqr = Cqr::new(
+        GradientBoost::with_params(Loss::Pinball(0.05), gbt_params),
+        GradientBoost::with_params(Loss::Pinball(0.95), gbt_params),
+        0.1,
+    );
+    gbt_cqr.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+    let gbt_model = ServeModel::from_gbt_cqr(&gbt_cqr, Some(&scaler)).unwrap();
+
+    let cat_params = ObliviousBoostParams::default();
+    let mut cat_cqr = Cqr::new(
+        ObliviousBoost::with_params(Loss::Pinball(0.05), cat_params),
+        ObliviousBoost::with_params(Loss::Pinball(0.95), cat_params),
+        0.1,
+    );
+    cat_cqr.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+    let cat_model = ServeModel::from_oblivious_cqr(&cat_cqr, Some(&scaler)).unwrap();
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+
+    // The pre-PR deployment path: standardize one chip, predict one
+    // interval, chip by chip.
+    group.bench_function("gbt_trait_dispatch", |b| {
+        b.iter(|| {
+            vmin_par::with_threads(1, || {
+                (0..fleet.rows())
+                    .map(|i| {
+                        let z = scaler.transform_row(fleet.row(i)).unwrap();
+                        gbt_cqr.predict_interval(&z).unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+    });
+    group.bench_function("gbt_flat_batch", |b| {
+        b.iter(|| vmin_par::with_threads(1, || gbt_model.serve_batch(&fleet, BLOCK_ROWS).unwrap()))
+    });
+    group.bench_function("catboost_trait_dispatch", |b| {
+        b.iter(|| {
+            vmin_par::with_threads(1, || {
+                (0..fleet.rows())
+                    .map(|i| {
+                        let z = scaler.transform_row(fleet.row(i)).unwrap();
+                        cat_cqr.predict_interval(&z).unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+    });
+    group.bench_function("catboost_flat_batch", |b| {
+        b.iter(|| vmin_par::with_threads(1, || cat_model.serve_batch(&fleet, BLOCK_ROWS).unwrap()))
+    });
+    // The parallel leg: same batch, default thread pool.
+    group.bench_function("gbt_flat_batch_parallel", |b| {
+        b.iter(|| gbt_model.serve_batch(&fleet, BLOCK_ROWS).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

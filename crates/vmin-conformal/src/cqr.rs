@@ -61,6 +61,42 @@ impl<L: Regressor, H: Regressor> Cqr<L, H> {
         }
     }
 
+    /// Rebuilds a **calibrated** CQR from captured state — the artifact
+    /// reload path (`vmin-serve`): the pair is already fitted and `qhat`
+    /// was computed by an earlier [`Self::calibrate`], so no training or
+    /// calibration data is touched. The caller asserts the invariant that
+    /// `qhat` really came from this pair at this `alpha`; nothing here can
+    /// re-derive it.
+    ///
+    /// # Errors
+    ///
+    /// [`ConformalError::InvalidArgument`] when `alpha` is outside `(0, 1)`
+    /// or `qhat` is NaN (`+∞` is legal: it is what calibration yields when
+    /// the window is too small for the requested coverage).
+    pub fn from_calibrated(lo_model: L, hi_model: H, alpha: f64, qhat: f64) -> Result<Self> {
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(ConformalError::InvalidArgument(format!(
+                "alpha must be in (0, 1), got {alpha}"
+            )));
+        }
+        if qhat.is_nan() {
+            return Err(ConformalError::InvalidArgument(
+                "captured qhat is NaN".to_string(),
+            ));
+        }
+        Ok(Cqr {
+            lo_model,
+            hi_model,
+            alpha,
+            qhat: Some(qhat),
+        })
+    }
+
+    /// The miscoverage level `α` the pair targets.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
     /// Fits both quantile models on the proper-training split and calibrates
     /// `q̂` on the calibration split (the paper holds out 25% of training
     /// chips for this).

@@ -65,6 +65,47 @@ impl Standardizer {
         self.means.len()
     }
 
+    /// The fitted per-column means, for artifact capture (`vmin-serve`).
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The fitted per-column scales (standard deviations, zero-variance
+    /// columns clamped to 1), for artifact capture.
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
+    /// Rebuilds a scaler from captured state (artifact reload). The parts
+    /// must describe the same columns: equal lengths, finite means, and
+    /// strictly positive finite scales.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ShapeMismatch`] on a length mismatch and
+    /// [`DatasetError::InvalidValue`] on non-finite or non-positive
+    /// entries.
+    pub fn from_parts(means: Vec<f64>, scales: Vec<f64>) -> Result<Self, DatasetError> {
+        if means.len() != scales.len() {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "scaler parts: {} means vs {} scales",
+                means.len(),
+                scales.len()
+            )));
+        }
+        if let Some(j) = means.iter().position(|m| !m.is_finite()) {
+            return Err(DatasetError::InvalidValue(format!(
+                "scaler mean for column {j} is not finite"
+            )));
+        }
+        if let Some(j) = scales.iter().position(|s| !(s.is_finite() && *s > 0.0)) {
+            return Err(DatasetError::InvalidValue(format!(
+                "scaler scale for column {j} must be finite and positive"
+            )));
+        }
+        Ok(Standardizer { means, scales })
+    }
+
     /// Applies `(x - mean) / scale` column-wise.
     ///
     /// # Errors

@@ -26,12 +26,15 @@ use std::collections::BTreeSet;
 /// randomness/threading providers) and the lint itself are exempt.
 /// `vmin-trace` is numeric too — its merged metrics must be deterministic —
 /// but it alone carries the wall-clock carve-out (see `det-wall-clock`).
+/// `vmin-serve` replays fitted-model predictions bit-for-bit, so it is
+/// held to the same determinism bar as the crates that fit them.
 pub const NUMERIC_CRATES: &[&str] = &[
     "vmin-linalg",
     "vmin-models",
     "vmin-conformal",
     "vmin-core",
     "vmin-silicon",
+    "vmin-serve",
     "vmin-trace",
 ];
 

@@ -110,6 +110,26 @@ fn det_extern_rand_ignores_seeded_vmin_rng_usage() {
 }
 
 #[test]
+fn vmin_serve_is_held_to_the_numeric_determinism_bar() {
+    // The serving crate replays fitted predictions bit-for-bit, so the
+    // numeric-only hazards must fire there like in the fitting crates:
+    // hash-order iteration could reorder float accumulation...
+    let hash = "use std::collections::HashMap;\n\
+                fn agg(m: &HashMap<u32, f64>) -> f64 { m.values().sum() }";
+    assert_eq!(
+        fired("vmin-serve", hash),
+        vec!["det-hash-collection", "det-hash-collection"]
+    );
+    // ...an unseeded RNG could perturb served batches...
+    let rand = "fn f() { let x = rand::random::<f64>(); }";
+    assert_eq!(fired("vmin-serve", rand), vec!["det-extern-rand"]);
+    // ...and wall-clock reads could leak timing into decode decisions.
+    let clock = "fn t() -> u64 { Instant::now().elapsed().as_nanos() as u64 }";
+    assert_eq!(fired("vmin-serve", clock), vec!["det-wall-clock"]);
+    assert!(NUMERIC_CRATES.contains(&"vmin-serve"));
+}
+
+#[test]
 fn det_thread_spawn_fires_outside_vmin_par() {
     let src = "fn f() { std::thread::spawn(|| {}); }";
     assert_eq!(fired("vmin-core", src), vec!["det-thread-spawn"]);

@@ -95,6 +95,29 @@ impl GradientBoost {
         self.loss
     }
 
+    /// The hyperparameters the booster was built with.
+    pub fn params(&self) -> &GradientBoostParams {
+        &self.params
+    }
+
+    /// The fitted base score (the loss-optimal constant; 0 before fitting).
+    pub fn base_score(&self) -> f64 {
+        self.base_score
+    }
+
+    /// Number of features the model was fitted on (0 before fitting).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The fitted trees in boosting order. Prediction is
+    /// `base_score + Σ learning_rate · treeᵢ(row)` accumulated in exactly
+    /// this order — flattened replicas must preserve it to stay
+    /// bit-identical.
+    pub fn trees(&self) -> &[GradientTree] {
+        &self.trees
+    }
+
     /// The shared boosting loop; `plan` selects the plan-backed tree path.
     ///
     /// Both paths produce byte-identical boosters: the planned tree fit is

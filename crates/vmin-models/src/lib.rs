@@ -63,8 +63,8 @@ pub use gp::{GaussianProcess, RbfKernel};
 pub use hist::{hist_enabled, set_hist_enabled, with_histograms};
 pub use linear::LinearRegression;
 pub use nn::{NeuralNet, NeuralNetParams};
-pub use oblivious::{ObliviousBoost, ObliviousBoostParams};
+pub use oblivious::{ObliviousBoost, ObliviousBoostParams, TreeTable};
 pub use optimizer::Adam;
 pub use quantile_linear::QuantileLinear;
 pub use traits::{Loss, ModelError, Regressor, Result};
-pub use tree::{GradientTree, TreeParams};
+pub use tree::{GradientTree, NodeView, TreeParams};

@@ -86,6 +86,10 @@ impl ObliviousTree {
     }
 }
 
+/// One tree's raw tables as borrowed by [`ObliviousBoost::tree_tables`]:
+/// the `(feature, threshold)` level tests and the `2^levels` leaf values.
+pub type TreeTable<'a> = (&'a [(usize, f64)], &'a [f64]);
+
 /// CatBoost-like regressor with oblivious trees and a pluggable loss.
 ///
 /// # Examples
@@ -134,6 +138,35 @@ impl ObliviousBoost {
     /// The training loss.
     pub fn loss(&self) -> Loss {
         self.loss
+    }
+
+    /// The hyperparameters the booster was built with.
+    pub fn params(&self) -> &ObliviousBoostParams {
+        &self.params
+    }
+
+    /// The fitted base score (0 before fitting).
+    pub fn base_score(&self) -> f64 {
+        self.base_score
+    }
+
+    /// Number of features the model was fitted on (0 before fitting).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Per-tree `(levels, leaf_values)` tables in boosting order, exposed
+    /// so inference compilers (`vmin-serve`) can turn each tree into a
+    /// `2^depth` leaf lookup table. `levels[k] = (feature, threshold)` sets
+    /// bit `k` of the leaf index when `row[feature] > threshold` — exactly
+    /// the walk `predict_row` performs — and `leaf_values` is indexed by
+    /// that bitmask. A tree may carry fewer levels than the configured
+    /// depth when a round ran out of usable borders.
+    pub fn tree_tables(&self) -> Vec<TreeTable<'_>> {
+        self.trees
+            .iter()
+            .map(|t| (t.levels.as_slice(), t.leaf_values.as_slice()))
+            .collect()
     }
 
     /// Shape/hyperparameter checks shared by both fit entry points.

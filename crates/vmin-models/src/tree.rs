@@ -54,6 +54,34 @@ enum Node {
     },
 }
 
+/// Read-only view of one stored tree node, exposed so inference compilers
+/// (`vmin-serve`) can flatten fitted ensembles into table form without
+/// reaching into the private [`GradientTree`] layout.
+///
+/// Indices are positions in the tree's node vector: the root is node 0 and
+/// every fit path pushes a split before its children, so `left`/`right`
+/// always point at strictly higher indices than the split itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeView {
+    /// Terminal node.
+    Leaf {
+        /// Newton leaf weight, added (× learning rate) to the ensemble score.
+        weight: f64,
+    },
+    /// Internal split; rows with `row[feature] < threshold` route `left`,
+    /// everything else (including NaN, which fails the `<`) routes `right`.
+    Split {
+        /// Feature column tested.
+        feature: usize,
+        /// Split threshold (strict `<` goes left).
+        threshold: f64,
+        /// Node index of the `<` child.
+        left: usize,
+        /// Node index of the `≥` child.
+        right: usize,
+    },
+}
+
 /// A fitted gradient tree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GradientTree {
@@ -195,6 +223,36 @@ impl GradientTree {
                 }
             }
         }
+    }
+
+    /// Number of stored nodes (the root is node 0).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read-only node-table view in storage order, for flattening the tree
+    /// into external inference tables. The view carries exactly the state
+    /// [`Self::predict_row`] consults — same thresholds, same child
+    /// indices — so a table replaying `row[feature] < threshold` walks
+    /// reaches bit-identical leaves.
+    pub fn nodes(&self) -> Vec<NodeView> {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf { weight } => NodeView::Leaf { weight: *weight },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => NodeView::Split {
+                    feature: *feature,
+                    threshold: *threshold,
+                    left: *left,
+                    right: *right,
+                },
+            })
+            .collect()
     }
 
     /// Number of leaves.

@@ -1,0 +1,132 @@
+//! # vmin-serve
+//!
+//! The deployment half of the pipeline: production-test screening scores
+//! every chip coming off the line against an already-fitted CQR pair, so
+//! serving must be fast, portable and bit-for-bit faithful to the model
+//! the calibration guarantee was proven on. This crate provides the three
+//! pieces (ROADMAP item 1):
+//!
+//! - **Flattened inference tables** ([`FlatGbt`], [`FlatOblivious`]):
+//!   a fitted `GradientBoost` becomes one contiguous struct-of-arrays
+//!   node table per ensemble (feature / threshold / child indices, leaves
+//!   carrying the pre-scaled `learning_rate · weight` contribution), and
+//!   each `ObliviousBoost` tree becomes a `2^depth` leaf lookup table
+//!   indexed by a per-row comparison bitmask. Both kernels replay exactly
+//!   the floating-point operations of the live-struct `predict_row`
+//!   walks, in the same order, so predictions are **bit-identical** to
+//!   trait dispatch — the equivalence suite asserts it seed by seed.
+//! - **`vmin-artifact/v1`** ([`ServeModel::to_bytes`] /
+//!   [`ServeModel::from_bytes`]): a versioned, deterministic little-endian
+//!   binary format (magic header, length-prefixed sections, FNV-1a
+//!   content checksum) snapshotting the flattened pair together with the
+//!   calibration quantile `q̂`, the miscoverage level `α` and optional
+//!   standardizer state. Reloads are bit-identical and predict without
+//!   touching any fit path.
+//! - **Batch serving** ([`ServeModel::serve_batch`]): row blocks fanned
+//!   out via `vmin-par`, bit-identical across `VMIN_THREADS`, with
+//!   `serve.*` counters/spans and the `VMIN_SERVE` kill switch
+//!   (off = per-row scalar walks in the live-struct shape; a pure path
+//!   selection, outputs byte-identical either way).
+//!
+//! ## Example
+//!
+//! ```
+//! use vmin_conformal::Cqr;
+//! use vmin_linalg::Matrix;
+//! use vmin_models::{GradientBoost, Loss};
+//! use vmin_serve::ServeModel;
+//!
+//! let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 * 0.1]).collect();
+//! let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0]).collect();
+//! let x = Matrix::from_rows(&rows)?;
+//! let mut cqr = Cqr::new(
+//!     GradientBoost::new(Loss::Pinball(0.05)),
+//!     GradientBoost::new(Loss::Pinball(0.95)),
+//!     0.1,
+//! );
+//! cqr.fit_calibrate(&x, &y, &x, &y)?;
+//!
+//! let model = ServeModel::from_gbt_cqr(&cqr, None)?;
+//! let bytes = model.to_bytes();
+//! let reloaded = ServeModel::from_bytes(&bytes)?;
+//! let served = reloaded.serve_batch(&x, 16)?;
+//! let live = cqr.predict_interval(x.row(7))?;
+//! assert_eq!(served[7].lo().to_bits(), live.lo().to_bits());
+//! assert_eq!(served[7].hi().to_bits(), live.hi().to_bits());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+mod artifact;
+mod engine;
+mod flat;
+
+pub use artifact::{ArtifactError, MAGIC};
+pub use engine::{ServeError, ServeModel};
+pub use flat::{FlatGbt, FlatOblivious};
+
+// ---------------------------------------------------------------------------
+// Global serve flag (mirrors the VMIN_HIST trio in vmin-models::hist)
+// ---------------------------------------------------------------------------
+
+static SERVE_FLAG: OnceLock<AtomicBool> = OnceLock::new();
+static SERVE_LOCK: Mutex<()> = Mutex::new(());
+
+fn serve_flag() -> &'static AtomicBool {
+    SERVE_FLAG.get_or_init(|| AtomicBool::new(vmin_trace::env_flag("VMIN_SERVE", true)))
+}
+
+/// Whether the flattened batch kernels are active. Defaults to on; the
+/// environment variable `VMIN_SERVE` (read once per process via
+/// [`vmin_trace::env_flag`]; `0`/`false`/`off` disable) turns them off,
+/// as does [`set_serve_enabled`]. Off means [`ServeModel::serve_batch`]
+/// walks rows one at a time through the scalar reference path — a pure
+/// path selection, outputs byte-identical either way.
+pub fn serve_enabled() -> bool {
+    serve_flag().load(Ordering::Relaxed)
+}
+
+/// Sets the serve flag, returning the previous value. Prefer
+/// [`with_serve`] in tests and benches: it serializes flag changes so
+/// concurrently running tests cannot observe each other's toggles.
+pub fn set_serve_enabled(on: bool) -> bool {
+    serve_flag().swap(on, Ordering::Relaxed)
+}
+
+struct FlagRestore(bool);
+
+impl Drop for FlagRestore {
+    fn drop(&mut self) {
+        set_serve_enabled(self.0);
+    }
+}
+
+/// Runs `f` with the batch kernels pinned to `on`, restoring the previous
+/// flag afterwards (also on panic). Holds a global mutex for the duration
+/// so parallel flag-sensitive tests serialize instead of racing; do not
+/// nest calls — the lock is not reentrant.
+pub fn with_serve<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    let _guard = SERVE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let _restore = FlagRestore(set_serve_enabled(on));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_serve_pins_and_restores() {
+        let before = serve_enabled();
+        let seen = with_serve(false, serve_enabled);
+        assert!(!seen);
+        let seen = with_serve(true, serve_enabled);
+        assert!(seen);
+        assert_eq!(serve_enabled(), before);
+    }
+}

@@ -13,6 +13,8 @@
 //! - [`models`]: LR, quantile LR, GP, XGBoost-style and CatBoost-style
 //!   boosting, MLP — all with point and pinball-loss modes.
 //! - [`conformal`]: split CP, CQR and extensions with coverage guarantees.
+//! - [`serve`]: flattened batch inference and portable `vmin-artifact/v1`
+//!   snapshots of fitted CQR pairs for production-test deployment.
 //! - [`core`]: the paper's prediction framework, experiment drivers and the
 //!   deployable [`core::VminPredictor`].
 //!
@@ -47,4 +49,5 @@ pub use vmin_core as core;
 pub use vmin_data as data;
 pub use vmin_linalg as linalg;
 pub use vmin_models as models;
+pub use vmin_serve as serve;
 pub use vmin_silicon as silicon;

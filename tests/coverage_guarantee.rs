@@ -151,6 +151,54 @@ fn cqr_guarantee_holds_across_distributions() {
     }
 }
 
+fn served_cqr_covered(noise: Noise, seed: u64) -> usize {
+    // The deployment path end to end: fit + calibrate live, snapshot to
+    // `vmin-artifact/v1` bytes, reload, and count coverage of the *served*
+    // intervals. Serving is bit-identical to the live path (see
+    // serve_equivalence.rs), so the reloaded artifact inherits the same
+    // exact finite-sample law — which this cell asserts directly.
+    use cqr_vmin::models::{GradientBoost, GradientBoostParams, TreeParams};
+    use cqr_vmin::serve::ServeModel;
+
+    let (x_tr, y_tr) = draw(N_TRAIN, noise, seed);
+    let (x_ca, y_ca) = draw(N_CAL, noise, seed + 1);
+    let (x_te, y_te) = draw(N_TEST, noise, seed + 2);
+    let params = GradientBoostParams {
+        n_rounds: 15,
+        tree: TreeParams {
+            max_depth: 3,
+            ..TreeParams::default()
+        },
+        ..GradientBoostParams::default()
+    };
+    let mut cqr = Cqr::new(
+        GradientBoost::with_params(cqr_vmin::models::Loss::Pinball(ALPHA / 2.0), params),
+        GradientBoost::with_params(cqr_vmin::models::Loss::Pinball(1.0 - ALPHA / 2.0), params),
+        ALPHA,
+    );
+    cqr.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+    let bytes = ServeModel::from_gbt_cqr(&cqr, None).unwrap().to_bytes();
+    let reloaded = ServeModel::from_bytes(&bytes).unwrap();
+    covered_count(&reloaded.serve_batch(&x_te, 16).unwrap(), &y_te)
+}
+
+#[test]
+fn served_artifact_carries_the_same_coverage_guarantee() {
+    // The guarantee must survive the save → load → serve_batch path: the
+    // covered count of intervals served from reloaded artifact bytes obeys
+    // the identical Beta-Binomial acceptance region as the live CQR pair.
+    let (lo, hi) = symmetric_acceptance();
+    let n_total = REPS * N_TEST;
+    for noise in ALL_NOISE {
+        let covered = total_covered(noise, served_cqr_covered);
+        assert!(
+            (lo..=hi).contains(&covered),
+            "{noise:?}: served artifact covered {covered}/{n_total} outside \
+             the exact finite-sample acceptance region [{lo}, {hi}]"
+        );
+    }
+}
+
 #[test]
 fn split_cp_guarantee_holds_across_distributions() {
     // Split CP's absolute-residual score obeys the same rank law, so the

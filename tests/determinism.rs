@@ -313,6 +313,78 @@ fn hist_split_and_thread_count_matrix_is_bit_identical() {
 }
 
 #[test]
+fn serve_matrix_is_bit_identical_and_artifact_bytes_are_stable() {
+    // PR 9 extends the matrix with the serving dimension: a captured
+    // ServeModel must produce byte-identical intervals at
+    // VMIN_THREADS ∈ {1, 4} × VMIN_SERVE {on, off} × block sizes
+    // {1, 5, 32, 1000}, and its `vmin-artifact/v1` encoding must be the
+    // same byte string no matter which cell of the matrix produced or
+    // reloaded it. The kill switch is pure path selection here (unlike
+    // VMIN_HIST there is no "must differ" leg — scalar and batch kernels
+    // replay the same IEEE operations).
+    use cqr_vmin::conformal::Cqr;
+    use cqr_vmin::models::{GradientBoost, Loss};
+    use cqr_vmin::serve::{with_serve, ServeModel};
+    use vmin_rng::{ChaCha8Rng, Rng, SeedableRng};
+
+    let draw = |n: usize, seed: u64| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(0.0..4.0);
+            let b: f64 = rng.gen_range(-2.0..2.0);
+            rows.push(vec![a, b]);
+            y.push(2.0 * a - b + rng.gen_range(-0.5..0.5));
+        }
+        (cqr_vmin::linalg::Matrix::from_rows(&rows).unwrap(), y)
+    };
+    let (x_tr, y_tr) = draw(70, 1);
+    let (x_ca, y_ca) = draw(40, 2);
+    let (x_te, _) = draw(90, 3);
+    let mut cqr = Cqr::new(
+        GradientBoost::new(Loss::Pinball(0.05)),
+        GradientBoost::new(Loss::Pinball(0.95)),
+        0.1,
+    );
+    cqr.fit_calibrate(&x_tr, &y_tr, &x_ca, &y_ca).unwrap();
+    let model = ServeModel::from_gbt_cqr(&cqr, None).unwrap();
+    let ref_bytes = model.to_bytes();
+
+    let run = |threads: usize, serve_on: bool, block: usize| {
+        vmin_par::with_threads(threads, || {
+            with_serve(serve_on, || {
+                let reloaded = ServeModel::from_bytes(&ref_bytes).unwrap();
+                assert_eq!(
+                    reloaded.to_bytes(),
+                    ref_bytes,
+                    "artifact bytes drifted at threads={threads} serve={serve_on}"
+                );
+                reloaded
+                    .serve_batch(&x_te, block)
+                    .unwrap()
+                    .iter()
+                    .map(|iv| (iv.lo().to_bits(), iv.hi().to_bits()))
+                    .collect::<Vec<_>>()
+            })
+        })
+    };
+    let reference = run(1, true, 32);
+    for threads in [1usize, 4] {
+        for serve_on in [true, false] {
+            for block in [1usize, 5, 32, 1000] {
+                assert_eq!(
+                    run(threads, serve_on, block),
+                    reference,
+                    "served intervals diverged at threads={threads} \
+                     serve={serve_on} block={block}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn par_map_preserves_input_order_at_any_thread_count() {
     // Awkward sizes exercise uneven chunking: remainders, fewer items than
     // threads, and single-item inputs.
