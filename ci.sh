@@ -196,4 +196,46 @@ grep -q '"id": "gbt_flat_batch"' target/BENCH_PR9.json
 grep -q '"id": "catboost_flat_batch"' target/BENCH_PR9.json
 grep -q '"id": "gbt_flat_batch_parallel"' target/BENCH_PR9.json
 
+echo "==> stream leg: chunk/thread/kill-switch invariance + trace counters"
+# The dedicated stream suite: chunked generation bit-identical to the
+# monolithic campaign across seeds × chunk sizes × thread counts.
+cargo test -q -p vmin-silicon --test stream_equivalence
+# stream_smoke prints one digest per streamed chip plus the fused screening
+# report; every knob combination must produce byte-identical stdout. The
+# chunk knob moves block boundaries only, the kill switch materializes and
+# slices, and threads only change shard fan-out.
+VMIN_STREAM=1 VMIN_THREADS=1 VMIN_TRACE_JSON=target/trace-stream.json \
+    cargo run -q --release -p vmin-bench --bin stream_smoke > target/stream-t1.txt
+VMIN_STREAM=1 VMIN_THREADS=8 \
+    cargo run -q --release -p vmin-bench --bin stream_smoke > target/stream-t8.txt
+VMIN_STREAM=1 VMIN_STREAM_CHUNK=17 \
+    cargo run -q --release -p vmin-bench --bin stream_smoke > target/stream-c17.txt
+VMIN_STREAM=0 VMIN_THREADS=1 VMIN_TRACE_JSON=target/trace-stream-off.json \
+    cargo run -q --release -p vmin-bench --bin stream_smoke > target/stream-off.txt
+test -s target/stream-t1.txt
+diff target/stream-t1.txt target/stream-t8.txt \
+    || { echo "streamed chips differ between VMIN_THREADS=1 and 8"; exit 1; }
+diff target/stream-t1.txt target/stream-c17.txt \
+    || { echo "streamed chips depend on VMIN_STREAM_CHUNK"; exit 1; }
+diff target/stream-t1.txt target/stream-off.txt \
+    || { echo "VMIN_STREAM=0 output differs from the streamed path"; exit 1; }
+# The stream and fused-screening counters must reach the trace export; the
+# fallback counter proves the kill-switch run took the materialized path.
+test -s target/trace-stream.json
+grep -q '"silicon.stream.chunks"' target/trace-stream.json
+grep -q '"silicon.stream.chips"' target/trace-stream.json
+grep -q '"silicon.stream.shards"' target/trace-stream.json
+grep -q '"fleet.chips"' target/trace-stream.json
+grep -q '"fleet.blocks"' target/trace-stream.json
+grep -q '"silicon.stream.fallback"' target/trace-stream-off.json
+
+echo "==> bench smoke: fleet_throughput writes target/BENCH_PR10.json"
+VMIN_BENCH_JSON="$PWD/target/BENCH_PR10.json" VMIN_BENCH_SAMPLES=1 VMIN_BENCH_FLEET=2000 \
+    cargo bench -p vmin-bench --bench fleet_throughput
+test -s target/BENCH_PR10.json
+grep -q '"id": "generate_only_c2000"' target/BENCH_PR10.json
+grep -q '"id": "serve_only_c2000"' target/BENCH_PR10.json
+grep -q '"id": "fused_generate_serve_c2000"' target/BENCH_PR10.json
+grep -q '"id": "materialize_then_serve_c2000"' target/BENCH_PR10.json
+
 echo "CI green."

@@ -1,0 +1,193 @@
+//! Fleet-scale screening throughput: the end-to-end question PR 10 answers —
+//! how many chips per second can the pipeline generate *and* score?
+//!
+//! Four legs over the same [`DatasetSpec::screening`] fleet and the same
+//! fitted CQR pair (paper-default model scale: 100 rounds, depth 6):
+//!
+//! - `generate_only_c{N}`: drain the [`CampaignStream`] and fold the defect
+//!   flags — the synthetic-silicon cost floor.
+//! - `serve_only_c{N}`: score a pre-assembled feature matrix with
+//!   [`ServeModel::serve_batch`] — the inference cost floor.
+//! - `fused_generate_serve_c{N}`: [`fleet_screen`], chunks piped straight
+//!   from the stream into the serve kernel, peak memory one chunk.
+//! - `materialize_then_serve_c{N}`: the pre-PR path — `Campaign::run` holds
+//!   every chip's nested measurement records, `assemble_dataset` copies them
+//!   into a matrix, then one big serve.
+//!
+//! The fused and materialized legs produce identical screening counts (the
+//! fleet tests assert bit equality); only time and memory may differ.
+//! Chips/sec = N / (min time per iteration); a `chips/sec` summary table is
+//! printed after the group in bench mode.
+//!
+//! Bench mode sweeps 100 000 and 1 000 000 chips so one JSON report carries
+//! both scales; `VMIN_BENCH_FLEET` pins a single size instead. Ids embed the
+//! size so JSON rows from different scales never collide.
+//!
+//! Run: `VMIN_BENCH_JSON=BENCH_PR10.json cargo bench -p vmin-bench --bench fleet_throughput`
+
+use vmin_bench::harness::Criterion;
+use vmin_bench::{criterion_group, criterion_main};
+use vmin_conformal::Cqr;
+use vmin_core::{assemble_dataset, fleet_screen, FeatureSet, FleetScreenConfig};
+use vmin_linalg::Matrix;
+use vmin_models::{GradientBoost, GradientBoostParams, Loss, TreeParams};
+use vmin_serve::ServeModel;
+use vmin_silicon::{Campaign, CampaignStream, DatasetSpec};
+
+/// Training campaign size for the served model (independent seed).
+const N_TRAIN: usize = 512;
+const MIN_SPEC_MV: f64 = 700.0;
+const FLEET_SEED: u64 = 7;
+
+fn fleet_sizes(bench_mode: bool) -> Vec<usize> {
+    match Criterion::fleet_size_override() {
+        Some(n) => vec![n],
+        // Smoke mode (cargo test builds and runs bench targets once) keeps
+        // the fleet small so the target stays fast.
+        None if !bench_mode => vec![2_000],
+        None => vec![100_000, 1_000_000],
+    }
+}
+
+/// Fits the production-scale CQR pair on an independent screening campaign.
+fn fit_model(train_spec: &DatasetSpec) -> ServeModel {
+    let train = Campaign::run(train_spec, 1);
+    let ds = assemble_dataset(&train, 0, 0, FeatureSet::Both)
+        .unwrap_or_else(|e| die(&format!("assemble training set: {e}")));
+    let params = GradientBoostParams {
+        tree: TreeParams {
+            max_depth: 6,
+            ..TreeParams::default()
+        },
+        ..GradientBoostParams::default()
+    };
+    let mut cqr = Cqr::new(
+        GradientBoost::with_params(Loss::Pinball(0.05), params),
+        GradientBoost::with_params(Loss::Pinball(0.95), params),
+        0.1,
+    );
+    cqr.fit_calibrate(ds.features(), ds.targets(), ds.features(), ds.targets())
+        .unwrap_or_else(|e| die(&format!("fit_calibrate: {e}")));
+    ServeModel::from_gbt_cqr(&cqr, None).unwrap_or_else(|e| die(&format!("capture: {e}")))
+}
+
+/// Streams the fleet once and assembles the serve-only input matrix (the
+/// untimed setup for the inference-floor leg).
+fn assemble_fleet_matrix(spec: &DatasetSpec, d: usize) -> Matrix {
+    let mut data = Vec::with_capacity(spec.chip_count * d);
+    for block in CampaignStream::new(spec, FLEET_SEED) {
+        for r in 0..block.len() {
+            data.extend_from_slice(block.parametric(r));
+            data.extend_from_slice(block.rod(r, 0));
+            data.extend_from_slice(block.cpd(r, 0));
+        }
+    }
+    Matrix::from_vec(spec.chip_count, d, data)
+        .unwrap_or_else(|e| die(&format!("fleet matrix: {e}")))
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let sizes = fleet_sizes(c.is_bench_mode());
+    // One model for every scale — the feature layout is size-independent.
+    let model = fit_model(&DatasetSpec::screening(N_TRAIN));
+    for chips in sizes {
+        bench_fleet_at(c, chips, &model);
+    }
+}
+
+fn bench_fleet_at(c: &mut Criterion, chips: usize, model: &ServeModel) {
+    let spec = DatasetSpec::screening(chips);
+    let cfg = FleetScreenConfig::new(MIN_SPEC_MV);
+
+    let mut group = c.benchmark_group("fleet_throughput");
+    group.sample_size(3);
+
+    group.bench_function(&format!("generate_only_c{chips}"), |b| {
+        b.iter(|| {
+            let mut defects = 0usize;
+            for block in CampaignStream::new(&spec, FLEET_SEED) {
+                for r in 0..block.len() {
+                    defects += usize::from(block.defective(r));
+                }
+            }
+            defects
+        })
+    });
+
+    let x = assemble_fleet_matrix(&spec, model.n_features());
+    group.bench_function(&format!("serve_only_c{chips}"), |b| {
+        b.iter(|| {
+            model
+                .serve_batch(&x, cfg.serve_rows)
+                .unwrap_or_else(|e| die(&format!("serve only: {e}")))
+        })
+    });
+    drop(x);
+
+    group.bench_function(&format!("fused_generate_serve_c{chips}"), |b| {
+        b.iter(|| {
+            fleet_screen(&spec, FLEET_SEED, model, &cfg)
+                .unwrap_or_else(|e| die(&format!("fused screen: {e}")))
+        })
+    });
+
+    group.bench_function(&format!("materialize_then_serve_c{chips}"), |b| {
+        b.iter(|| {
+            let campaign = Campaign::run(&spec, FLEET_SEED);
+            let ds = assemble_dataset(&campaign, 0, 0, FeatureSet::Both)
+                .unwrap_or_else(|e| die(&format!("assemble fleet: {e}")));
+            let intervals = model
+                .serve_batch(ds.features(), cfg.serve_rows)
+                .unwrap_or_else(|e| die(&format!("materialized serve: {e}")));
+            intervals.iter().filter(|iv| iv.hi() > MIN_SPEC_MV).count()
+        })
+    });
+
+    group.finish();
+    report_chips_per_sec(c, chips);
+}
+
+/// Prints a chips/sec table from the recorded minima and the fused-vs-
+/// materialized ratio (bench mode only — smoke samples are untrustworthy).
+fn report_chips_per_sec(c: &Criterion, chips: usize) {
+    if !c.is_bench_mode() {
+        return;
+    }
+    let min_of = |id: String| {
+        c.records()
+            .iter()
+            .find(|r| r.group == "fleet_throughput" && r.id == id)
+            .map(|r| r.min_ns)
+            .filter(|&ns| ns > 0)
+    };
+    eprintln!("\nchips/sec at {chips} chips (from min sample):");
+    for leg in [
+        "generate_only",
+        "serve_only",
+        "fused_generate_serve",
+        "materialize_then_serve",
+    ] {
+        if let Some(ns) = min_of(format!("{leg}_c{chips}")) {
+            eprintln!("  {leg}: {:.0}", chips as f64 * 1e9 / ns as f64);
+        }
+    }
+    if let (Some(fused), Some(mat)) = (
+        min_of(format!("fused_generate_serve_c{chips}")),
+        min_of(format!("materialize_then_serve_c{chips}")),
+    ) {
+        eprintln!(
+            "  fused/materialized speedup: {:.2}x",
+            mat as f64 / fused as f64
+        );
+    }
+}
+
+/// Bench-binary failure exit without panic machinery (keeps the
+/// `vmin-lint` panic ratchet flat).
+fn die(msg: &str) -> ! {
+    eprintln!("[fleet_throughput] fatal: {msg}");
+    std::process::exit(1)
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

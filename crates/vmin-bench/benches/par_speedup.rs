@@ -245,6 +245,13 @@ fn assert_small_input_thread2_sanity(c: &mut Criterion) {
     };
     let checks = [
         ("matmul_threads1", "matmul_threads2", 1.6),
+        // PR 10: BENCH_PR7.json showed campaign_small 16% slower at two
+        // threads (26.2 ms vs 22.6 ms serial) because chip fabrication ran
+        // serially on the coordinator while only measurement fanned out.
+        // Fabrication now runs inside the per-chip workers (the stream's
+        // counter-derived RNG schedule makes that safe), so the 2-thread
+        // row must stay within noise of the 1-thread row.
+        ("campaign_small_threads1", "campaign_small_threads2", 1.15),
         (
             "table3_region_cell_threads1",
             "table3_region_cell_threads2",

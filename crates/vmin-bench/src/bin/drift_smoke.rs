@@ -33,7 +33,10 @@ fn main() {
         vec![DriftFault {
             class: DriftClass::Ramp,
             onset: 3,
-            magnitude_mv: 20.0,
+            // 30 mV/read-point: strong enough that the adaptive layer reaches a
+            // window rebuild on this campaign (ci.sh greps the trace for the
+            // conformal.adaptive.recalibrations counter).
+            magnitude_mv: 30.0,
             fraction: 1.0,
         }],
         41,
@@ -87,7 +90,7 @@ fn main() {
             die("VMIN_ADAPTIVE=0 still moved the degradation ladder");
         }
     } else if report.worst_state == vmin_conformal::LadderState::Nominal {
-        die("a fleet-wide 20 mV/read-point ramp never moved the ladder");
+        die("a fleet-wide 30 mV/read-point ramp never moved the ladder");
     }
 
     if let Some(path) = vmin_trace::export::write_json_if_configured(vmin_par::current_threads()) {

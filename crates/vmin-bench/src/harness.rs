@@ -90,6 +90,14 @@ impl Criterion {
         self.bench_mode
     }
 
+    /// `VMIN_BENCH_FLEET` override: pins the fleet-scale benches to a single
+    /// fleet size instead of their built-in sweep (zero and unset both mean
+    /// "no override"). Lives on the harness so the knob is registered and
+    /// parsed in library code like the other `VMIN_BENCH_*` vars.
+    pub fn fleet_size_override() -> Option<usize> {
+        vmin_trace::env_usize("VMIN_BENCH_FLEET").filter(|&n| n > 0)
+    }
+
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         if self.bench_mode {

@@ -49,6 +49,7 @@
 mod binning;
 mod degradation;
 mod experiment;
+mod fleet;
 mod flow;
 mod reliability;
 mod report;
@@ -65,6 +66,7 @@ pub use experiment::{
     onchip_monitor_gain, run_feature_set_study, run_point_cell, run_point_cell_on, run_region_cell,
     run_region_cell_on, ExperimentConfig, ExperimentError, FeatureSetSummary,
 };
+pub use fleet::{fleet_screen, FleetError, FleetScreenConfig, FleetScreenReport};
 pub use flow::{
     eval_point_fold, eval_region_fold, FlowError, PointEval, RegionEval, SanitizedFit,
     VminPredictor, CFS_MAX_FEATURES, CFS_POOL,

@@ -1,7 +1,7 @@
 //! Per-chip state: process corner, critical-path population, defects and
 //! the chip's aging model.
 
-use crate::aging::AgingModel;
+use crate::aging::{AgingModel, WorkloadProfile};
 use crate::config::DatasetSpec;
 use crate::device::DeviceParams;
 use crate::process::{ProcessSampler, ProcessState};
@@ -119,64 +119,114 @@ impl ChipFactory {
     pub fn fabricate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Chip> {
         let spec = &self.spec;
         let states = ProcessSampler::new(spec.process.clone()).sample(rng, spec.chip_count);
-        let mut chips = Vec::with_capacity(spec.chip_count);
+        states
+            .into_iter()
+            .enumerate()
+            .map(|(id, process)| self.fabricate_one(rng, id, process))
+            .collect()
+    }
+
+    /// Fabricates a single chip from an externally supplied process state,
+    /// drawing all remaining per-chip randomness (workload, aging rate,
+    /// defect, paths) from `rng`.
+    pub fn fabricate_one<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        id: usize,
+        process: ProcessState,
+    ) -> Chip {
+        let mut paths = Vec::with_capacity(self.spec.paths_per_chip);
+        let (aging, defective) = self.fabricate_parts(rng, &process, &mut paths);
+        Chip {
+            id,
+            process,
+            aging,
+            paths,
+            defective,
+        }
+    }
+
+    /// Re-fabricates `chip` in place for index `id`, reusing its path
+    /// vector's allocation. Draw order and results are identical to
+    /// [`Self::fabricate_one`] — this is the scratch-friendly form the
+    /// streaming campaign's hot loop uses.
+    pub fn refabricate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        id: usize,
+        process: ProcessState,
+        chip: &mut Chip,
+    ) {
+        let mut paths = std::mem::take(&mut chip.paths);
+        let (aging, defective) = self.fabricate_parts(rng, &process, &mut paths);
+        chip.id = id;
+        chip.process = process;
+        chip.aging = aging;
+        chip.paths = paths;
+        chip.defective = defective;
+    }
+
+    /// The shared per-chip draw sequence: workload, aging rate, defect,
+    /// then paths. Clears and refills `paths`.
+    fn fabricate_parts<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        process: &ProcessState,
+        paths: &mut Vec<CriticalPath>,
+    ) -> (AgingModel, bool) {
+        let spec = &self.spec;
+        // Each chip runs its own stress workload (duty cycle, activity,
+        // thermal trajectory), making degradation heteroscedastic across
+        // the population.
+        let workload = WorkloadProfile::sample(rng, &spec.workload, &spec.stress);
         // Total global Vth sigma, used to standardize the corner term.
         let sigma_global = (spec.process.sigma_vth_lot.powi(2)
             + spec.process.sigma_vth_wafer.powi(2)
             + spec.process.sigma_vth_die.powi(2))
         .sqrt();
-        for (id, process) in states.into_iter().enumerate() {
-            // Fast-corner (low Vth) chips age faster: split the log-rate
-            // variance between a corner-driven part (observable from time-0
-            // data) and an idiosyncratic part (only observable from later
-            // monitor reads).
-            let rho = spec.aging.rate_corner_fraction.clamp(0.0, 1.0);
-            let corner = -process.vth_shift.0 / sigma_global.max(1e-9);
-            let log_rate = spec.aging.sigma_rate_log
-                * (rho.sqrt() * corner
-                    + (1.0 - rho).sqrt() * crate::sampling::standard_normal(rng));
-            let chip_rate = log_rate.exp();
-            let aging = AgingModel::new(spec.aging.clone(), spec.stress.clone(), chip_rate);
-            let defective = rng.gen::<f64>() < spec.defect.defect_rate;
-            let defect_path = if defective {
-                rng.gen_range(0..spec.paths_per_chip)
+        // Fast-corner (low Vth) chips age faster: split the log-rate
+        // variance between a corner-driven part (observable from time-0
+        // data) and an idiosyncratic part (only observable from later
+        // monitor reads).
+        let rho = spec.aging.rate_corner_fraction.clamp(0.0, 1.0);
+        let corner = -process.vth_shift.0 / sigma_global.max(1e-9);
+        let log_rate = spec.aging.sigma_rate_log
+            * (rho.sqrt() * corner + (1.0 - rho).sqrt() * crate::sampling::standard_normal(rng));
+        let chip_rate = log_rate.exp();
+        let aging =
+            AgingModel::with_workload(spec.aging.clone(), &spec.stress, chip_rate, workload);
+        let defective = rng.gen::<f64>() < spec.defect.defect_rate;
+        let defect_path = if defective {
+            rng.gen_range(0..spec.paths_per_chip)
+        } else {
+            usize::MAX
+        };
+        paths.clear();
+        for pi in 0..spec.paths_per_chip {
+            let local = normal(rng, 0.0, spec.process.sigma_vth_local);
+            let depth_jitter: i64 = rng.gen_range(-4..=4);
+            let depth = (spec.path_depth as i64 + depth_jitter).max(8) as usize;
+            let wire = rng.gen_range(30.0..90.0);
+            let sensitivity = lognormal(rng, 0.0, spec.aging.sigma_path_sensitivity_log);
+            let defect_penalty = if pi == defect_path {
+                1.0 + spec.defect.mean_delay_penalty * lognormal(rng, 0.0, 0.4)
             } else {
-                usize::MAX
+                1.0
             };
-            let mut paths = Vec::with_capacity(spec.paths_per_chip);
-            for pi in 0..spec.paths_per_chip {
-                let local = normal(rng, 0.0, spec.process.sigma_vth_local);
-                let depth_jitter: i64 = rng.gen_range(-4..=4);
-                let depth = (spec.path_depth as i64 + depth_jitter).max(8) as usize;
-                let wire = rng.gen_range(30.0..90.0);
-                let sensitivity = lognormal(rng, 0.0, spec.aging.sigma_path_sensitivity_log);
-                let defect_penalty = if pi == defect_path {
-                    1.0 + spec.defect.mean_delay_penalty * lognormal(rng, 0.0, 0.4)
-                } else {
-                    1.0
-                };
-                let sensitivity = if pi == defect_path {
-                    sensitivity * spec.defect.aging_multiplier
-                } else {
-                    sensitivity
-                };
-                paths.push(CriticalPath {
-                    local_vth_offset: Volt(local),
-                    depth,
-                    wire_delay_ps: wire,
-                    aging_sensitivity: sensitivity,
-                    defect_penalty,
-                });
-            }
-            chips.push(Chip {
-                id,
-                process,
-                aging,
-                paths,
-                defective,
+            let sensitivity = if pi == defect_path {
+                sensitivity * spec.defect.aging_multiplier
+            } else {
+                sensitivity
+            };
+            paths.push(CriticalPath {
+                local_vth_offset: Volt(local),
+                depth,
+                wire_delay_ps: wire,
+                aging_sensitivity: sensitivity,
+                defect_penalty,
             });
         }
-        chips
+        (aging, defective)
     }
 }
 

@@ -129,6 +129,45 @@ impl Default for StressSpec {
     }
 }
 
+/// Per-chip workload variation during burn-in (arXiv:2207.04134-style
+/// workload-dependent aging): the population does not see one shared
+/// stress schedule — each chip draws its own duty cycle, switching
+/// activity and junction-temperature trajectory, making degradation
+/// heteroscedastic across the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Mean fraction of calendar time the chip spends under stress bias.
+    pub duty_cycle_mean: f64,
+    /// Standard deviation of the duty cycle across chips.
+    pub duty_cycle_sigma: f64,
+    /// Lowest duty cycle any chip can draw (keeps stress time positive).
+    pub duty_cycle_floor: f64,
+    /// Log-normal sigma of per-chip switching activity around the
+    /// schedule's nominal activity factor.
+    pub activity_sigma_log: f64,
+    /// Mean junction self-heating above the oven setpoint (°C).
+    pub self_heating_mean_c: f64,
+    /// Standard deviation of the self-heating offset across chips (°C).
+    pub self_heating_sigma_c: f64,
+    /// Maximum amplitude of the workload-induced junction-temperature
+    /// oscillation (°C); each chip draws its swing uniformly in [0, max].
+    pub temp_swing_max_c: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            duty_cycle_mean: 0.85,
+            duty_cycle_sigma: 0.10,
+            duty_cycle_floor: 0.05,
+            activity_sigma_log: 0.35,
+            self_heating_mean_c: 6.0,
+            self_heating_sigma_c: 3.0,
+            temp_swing_max_c: 12.0,
+        }
+    }
+}
+
 /// Defect-injection parameters producing Vmin outliers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DefectSpec {
@@ -291,6 +330,8 @@ pub struct DatasetSpec {
     pub aging: AgingSpec,
     /// Burn-in stress conditions.
     pub stress: StressSpec,
+    /// Per-chip workload variation under stress.
+    pub workload: WorkloadSpec,
     /// Defect injection.
     pub defect: DefectSpec,
     /// On-chip monitor inventory.
@@ -310,6 +351,7 @@ impl Default for DatasetSpec {
             process: ProcessSpec::default(),
             aging: AgingSpec::default(),
             stress: StressSpec::default(),
+            workload: WorkloadSpec::default(),
             defect: DefectSpec::default(),
             monitors: MonitorSpec::default(),
             parametric: ParametricSpec::default(),
@@ -332,6 +374,29 @@ impl DatasetSpec {
         spec.parametric.artifact_per_temp = 4;
         spec.monitors.rod_count = 24;
         spec.monitors.cpd_count = 4;
+        spec
+    }
+
+    /// A production-screening spec for fleet-scale streaming: one read
+    /// point (time 0), one Vmin temperature, a lean parametric program and
+    /// a reduced monitor inventory — the test-insertion content a
+    /// million-chip screen actually runs, with the same physics as the
+    /// full campaign.
+    #[allow(clippy::field_reassign_with_default)] // nested-struct builder style
+    pub fn screening(chip_count: usize) -> Self {
+        let mut spec = DatasetSpec::default();
+        spec.chip_count = chip_count;
+        spec.paths_per_chip = 4;
+        spec.path_depth = 32;
+        spec.stress.read_points = vec![Hours(0.0)];
+        spec.vmin_test.temperatures = vec![Celsius(25.0)];
+        spec.parametric.iddq_per_temp = 4;
+        spec.parametric.trip_idd_per_temp = 2;
+        spec.parametric.leakage_per_temp = 2;
+        spec.parametric.artifact_per_temp = 0;
+        spec.parametric.temperatures = vec![Celsius(25.0)];
+        spec.monitors.rod_count = 12;
+        spec.monitors.cpd_count = 2;
         spec
     }
 }

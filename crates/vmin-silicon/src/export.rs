@@ -4,7 +4,9 @@
 //! MAPIE, …) to cross-check this crate's results. No serde dependency —
 //! the format is a flat, excel-friendly CSV.
 
-use crate::testflow::Campaign;
+use crate::stream::{BlockLayout, CampaignStream, ChipBlock};
+use crate::testflow::{cpd_name, rod_name, Campaign};
+use crate::units::{Celsius, Hours};
 use std::io::{self, Write};
 
 /// Writes the full campaign as CSV to `out`.
@@ -50,6 +52,87 @@ pub fn write_campaign_csv<W: Write>(campaign: &Campaign, mut out: W) -> io::Resu
             }
         }
         writeln!(out, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Streaming form of [`write_campaign_csv`]: consumes a [`CampaignStream`]
+/// and writes each [`ChipBlock`] as it is generated, so a million-chip
+/// campaign exports in fixed memory. Output is byte-identical to
+/// materializing the same campaign and using the monolithic writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_stream_csv<W: Write>(stream: CampaignStream, out: W) -> io::Result<()> {
+    let parametric_names = stream.parametric_names();
+    let read_points = stream.read_points().to_vec();
+    let temperatures = stream.temperatures().to_vec();
+    let layout = *stream.layout();
+    write_blocks_csv(
+        &parametric_names,
+        &read_points,
+        &temperatures,
+        &layout,
+        stream,
+        out,
+    )
+}
+
+/// Core of the streaming export: writes any [`ChipBlock`] sequence under
+/// the given campaign metadata. Blocks must arrive in chip order and share
+/// `layout`; the writer holds only one block at a time.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_blocks_csv<W, I>(
+    parametric_names: &[String],
+    read_points: &[Hours],
+    temperatures: &[Celsius],
+    layout: &BlockLayout,
+    blocks: I,
+    mut out: W,
+) -> io::Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = ChipBlock>,
+{
+    // Header — same column names, in the same order, as the monolithic
+    // writer (the name formats are shared with `Campaign::rod_names`).
+    let mut header: Vec<String> = vec!["chip_id".into(), "defective".into()];
+    header.extend(parametric_names.iter().cloned());
+    for rp in read_points {
+        header.extend((0..layout.rods).map(|j| rod_name(j, rp.0)));
+        header.extend((0..layout.cpds).map(|j| cpd_name(j, rp.0)));
+    }
+    for rp in read_points {
+        for t in temperatures {
+            header.push(format!("vmin_h{:.0}_t{:.0}", rp.0, t.0));
+        }
+    }
+    writeln!(out, "{}", header.join(","))?;
+
+    // Rows, straight from the flat block buffers — same value formats as
+    // the monolithic writer.
+    for block in blocks {
+        for r in 0..block.len() {
+            let mut row: Vec<String> = vec![
+                block.chip_id(r).to_string(),
+                usize::from(block.defective(r)).to_string(),
+            ];
+            row.extend(block.parametric(r).iter().map(|v| format!("{v:.6e}")));
+            for k in 0..read_points.len() {
+                row.extend(block.rod(r, k).iter().map(|v| format!("{v:.6}")));
+                row.extend(block.cpd(r, k).iter().map(|v| format!("{v:.6}")));
+            }
+            for k in 0..read_points.len() {
+                for t in 0..temperatures.len() {
+                    row.push(format!("{:.4}", block.vmin_mv(r, k, t)));
+                }
+            }
+            writeln!(out, "{}", row.join(","))?;
+        }
     }
     Ok(())
 }
@@ -112,6 +195,35 @@ mod tests {
         let first_row: Vec<&str> = text.lines().nth(1).unwrap().split(',').collect();
         let v: f64 = first_row[col].parse().unwrap();
         assert!((v - c.chips[0].vmin_mv[0][1]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn streaming_export_is_byte_identical_to_monolithic() {
+        let mut spec = DatasetSpec::small();
+        spec.chip_count = 10;
+        spec.paths_per_chip = 4;
+        let mut mono = Vec::new();
+        write_campaign_csv(&Campaign::run(&spec, 9), &mut mono).unwrap();
+        for chunk in [1, 3, 10, 64] {
+            let stream =
+                crate::stream::with_stream(true, || CampaignStream::with_chunk(&spec, 9, chunk));
+            let mut streamed = Vec::new();
+            write_stream_csv(stream, &mut streamed).unwrap();
+            assert_eq!(mono, streamed, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn streaming_export_survives_the_kill_switch() {
+        let mut spec = DatasetSpec::small();
+        spec.chip_count = 8;
+        spec.paths_per_chip = 4;
+        let mut mono = Vec::new();
+        write_campaign_csv(&Campaign::run(&spec, 4), &mut mono).unwrap();
+        let stream = crate::stream::with_stream(false, || CampaignStream::with_chunk(&spec, 4, 3));
+        let mut streamed = Vec::new();
+        write_stream_csv(stream, &mut streamed).unwrap();
+        assert_eq!(mono, streamed);
     }
 
     #[test]

@@ -48,26 +48,31 @@ mod monitor;
 mod parametric;
 mod process;
 mod sampling;
+mod stream;
 mod testflow;
 mod units;
 mod vmin;
 
-pub use aging::AgingModel;
+pub use aging::{AgingModel, WorkloadProfile};
 pub use chip::{Chip, ChipFactory, CriticalPath};
 pub use config::{
     AgingSpec, DatasetSpec, DefectSpec, MonitorSpec, ParametricSpec, ProcessSpec, StressSpec,
-    VminTestSpec,
+    VminTestSpec, WorkloadSpec,
 };
 pub use corruption::{
     CorruptionConfig, CorruptionInjector, FaultClass, FaultRecord, InjectionLedger,
 };
 pub use device::{DeviceParams, ALPHA, MOBILITY_TEMP_EXP, SUBTHRESHOLD_SWING, VTH_TEMP_COEFF};
 pub use drift::{DriftClass, DriftFault, DriftInjector, DriftLedger, DriftRecord};
-pub use export::write_campaign_csv;
+pub use export::{write_blocks_csv, write_campaign_csv, write_stream_csv};
 pub use monitor::{CpdMonitor, MonitorBank, RingOscillator};
 pub use parametric::{ParametricKind, ParametricProgram, ParametricTest};
 pub use process::{ProcessSampler, ProcessState};
 pub use sampling::{lognormal, normal, standard_normal, truncated_normal};
+pub use stream::{
+    set_stream_enabled, stream_enabled, with_stream, BlockLayout, CampaignStream, ChipBlock,
+    DEFAULT_STREAM_CHUNK, SHARD_CHIPS,
+};
 pub use testflow::{nominal_chip, Campaign, ChipMeasurements};
 pub use units::{Celsius, Hours, Picoseconds, Volt};
 pub use vmin::VminTester;

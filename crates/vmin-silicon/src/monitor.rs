@@ -70,11 +70,36 @@ impl MonitorBank {
         paths_per_chip: usize,
         sigma_vth_local: f64,
     ) -> Self {
+        let mut bank = Self::empty(spec);
+        bank.reinstantiate(rng, paths_per_chip, sigma_vth_local);
+        bank
+    }
+
+    /// A bank with capacity reserved but no monitors drawn yet — scratch
+    /// for [`Self::reinstantiate`].
+    pub(crate) fn empty(spec: &MonitorSpec) -> Self {
+        MonitorBank {
+            rods: Vec::with_capacity(spec.rod_count),
+            cpds: Vec::with_capacity(spec.cpd_count),
+            spec: spec.clone(),
+        }
+    }
+
+    /// Redraws this bank's per-die mismatch in place for a new chip,
+    /// reusing the rod/cpd allocations. Draw order and results are
+    /// identical to [`Self::instantiate`] — this is the scratch-friendly
+    /// form the streaming campaign's hot loop uses.
+    pub fn reinstantiate<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        paths_per_chip: usize,
+        sigma_vth_local: f64,
+    ) {
         let flavors = [-0.03, 0.0, 0.03]; // LVT, SVT, HVT offsets (V)
         let stage_options = [11, 15, 21, 31];
-        let mut rods = Vec::with_capacity(spec.rod_count);
-        for i in 0..spec.rod_count {
-            rods.push(RingOscillator {
+        self.rods.clear();
+        for i in 0..self.spec.rod_count {
+            self.rods.push(RingOscillator {
                 flavor_vth_offset: Volt(flavors[i % flavors.len()]),
                 stages: stage_options[(i / flavors.len()) % stage_options.len()],
                 local_vth_offset: Volt(normal(rng, 0.0, sigma_vth_local * 0.6)),
@@ -82,17 +107,12 @@ impl MonitorBank {
                 wire_fraction: 0.1 + 0.2 * ((i % 5) as f64 / 4.0),
             });
         }
-        let mut cpds = Vec::with_capacity(spec.cpd_count);
-        for i in 0..spec.cpd_count {
-            cpds.push(CpdMonitor {
+        self.cpds.clear();
+        for i in 0..self.spec.cpd_count {
+            self.cpds.push(CpdMonitor {
                 path_index: i % paths_per_chip.max(1),
                 replica_offset: Volt(normal(rng, 0.0, sigma_vth_local * 0.3)),
             });
-        }
-        MonitorBank {
-            rods,
-            cpds,
-            spec: spec.clone(),
         }
     }
 
@@ -152,24 +172,48 @@ impl MonitorBank {
 
     /// All ROD readouts at stress time `t`, with measurement noise.
     pub fn read_rods<R: Rng + ?Sized>(&self, rng: &mut R, chip: &Chip, t: Hours) -> Vec<f64> {
-        self.rods
-            .iter()
-            .map(|ro| {
-                let v = self.rod_value(chip, ro, t);
-                v * (1.0 + normal(rng, 0.0, self.spec.rod_noise_rel))
-            })
-            .collect()
+        let mut out = vec![0.0; self.rods.len()];
+        self.read_rods_into(rng, chip, t, &mut out);
+        out
+    }
+
+    /// [`Self::read_rods`] into a caller-provided slice (`out.len()` must
+    /// equal the ROD count) — same draws, no allocation.
+    pub fn read_rods_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        chip: &Chip,
+        t: Hours,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(out.len(), self.rods.len());
+        for (slot, ro) in out.iter_mut().zip(&self.rods) {
+            let v = self.rod_value(chip, ro, t);
+            *slot = v * (1.0 + normal(rng, 0.0, self.spec.rod_noise_rel));
+        }
     }
 
     /// All CPD readouts at stress time `t`, with measurement noise.
     pub fn read_cpds<R: Rng + ?Sized>(&self, rng: &mut R, chip: &Chip, t: Hours) -> Vec<f64> {
-        self.cpds
-            .iter()
-            .map(|m| {
-                let v = self.cpd_value(chip, m, t);
-                v * (1.0 + normal(rng, 0.0, self.spec.cpd_noise_rel))
-            })
-            .collect()
+        let mut out = vec![0.0; self.cpds.len()];
+        self.read_cpds_into(rng, chip, t, &mut out);
+        out
+    }
+
+    /// [`Self::read_cpds`] into a caller-provided slice (`out.len()` must
+    /// equal the CPD count) — same draws, no allocation.
+    pub fn read_cpds_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        chip: &Chip,
+        t: Hours,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(out.len(), self.cpds.len());
+        for (slot, m) in out.iter_mut().zip(&self.cpds) {
+            let v = self.cpd_value(chip, m, t);
+            *slot = v * (1.0 + normal(rng, 0.0, self.spec.cpd_noise_rel));
+        }
     }
 }
 

@@ -129,32 +129,38 @@ impl ParametricProgram {
     /// Runs the full program on `chip` at stress time `t`, returning one
     /// value per test (in program order) with measurement noise.
     pub fn run<R: Rng + ?Sized>(&self, rng: &mut R, chip: &Chip, t: Hours) -> Vec<f64> {
+        let mut out = vec![0.0; self.tests.len()];
+        self.run_into(rng, chip, t, &mut out);
+        out
+    }
+
+    /// [`Self::run`] into a caller-provided slice (`out.len()` must equal
+    /// the program length) — same draws, no allocation.
+    pub fn run_into<R: Rng + ?Sized>(&self, rng: &mut R, chip: &Chip, t: Hours, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.tests.len());
         let vdd = Volt(0.75);
-        self.tests
-            .iter()
-            .map(|test| {
-                let base = match test.kind {
-                    ParametricKind::Iddq => {
-                        // Quiescent current rides the chip leakage state.
-                        test.scale * chip.chip_leakage(vdd, test.temperature, t)
-                    }
-                    ParametricKind::TripIdd => {
-                        // Dynamic + leakage mix; dynamic part rides mobility
-                        // (fast chips draw more switching current).
-                        let dynamic = chip.process.mobility_factor / chip.process.leff_factor;
-                        test.scale
-                            * (test.dynamic_loading * dynamic
-                                + (1.0 - test.dynamic_loading)
-                                    * chip.chip_leakage(vdd, test.temperature, t))
-                    }
-                    ParametricKind::PinLeakage => {
-                        test.scale * chip.chip_leakage(vdd, test.temperature, t).powf(0.7)
-                    }
-                    ParametricKind::Artifact => test.scale,
-                };
-                base * (1.0 + normal(rng, 0.0, test.noise_rel))
-            })
-            .collect()
+        for (slot, test) in out.iter_mut().zip(&self.tests) {
+            let base = match test.kind {
+                ParametricKind::Iddq => {
+                    // Quiescent current rides the chip leakage state.
+                    test.scale * chip.chip_leakage(vdd, test.temperature, t)
+                }
+                ParametricKind::TripIdd => {
+                    // Dynamic + leakage mix; dynamic part rides mobility
+                    // (fast chips draw more switching current).
+                    let dynamic = chip.process.mobility_factor / chip.process.leff_factor;
+                    test.scale
+                        * (test.dynamic_loading * dynamic
+                            + (1.0 - test.dynamic_loading)
+                                * chip.chip_leakage(vdd, test.temperature, t))
+                }
+                ParametricKind::PinLeakage => {
+                    test.scale * chip.chip_leakage(vdd, test.temperature, t).powf(0.7)
+                }
+                ParametricKind::Artifact => test.scale,
+            };
+            *slot = base * (1.0 + normal(rng, 0.0, test.noise_rel));
+        }
     }
 }
 

@@ -67,29 +67,56 @@ impl ProcessSampler {
                     lot_shift = normal(rng, 0.0, s.sigma_vth_lot);
                 }
             }
-            let die_shift = normal(rng, 0.0, s.sigma_vth_die);
-            let vth_shift = Volt(lot_shift + wafer_shift + die_shift);
-            // Leff and mobility correlate negatively with Vth shift in real
-            // silicon (fast corner = low Vth, short channel, high mobility);
-            // keep a partial correlation plus independent components.
-            let corr = -vth_shift.0 / (3.0 * s.sigma_vth_die);
-            let leff_factor =
-                (1.0 + 0.5 * corr * s.sigma_leff + normal(rng, 0.0, s.sigma_leff)).max(0.7);
-            let mobility_factor =
-                (1.0 - 0.5 * corr * s.sigma_mobility + normal(rng, 0.0, s.sigma_mobility)).max(0.7);
-            // Leakage rises exponentially as Vth falls.
-            let leakage_factor = lognormal(rng, -vth_shift.0 / 0.030, s.sigma_leakage_log);
-            out.push(ProcessState {
-                vth_shift,
-                leff_factor,
-                mobility_factor,
-                leakage_factor,
-                lot: lot_idx,
-                wafer: wafer_idx % s.wafers_per_lot,
-                die: die_in_wafer,
-            });
+            out.push(self.sample_die(
+                rng,
+                lot_shift,
+                wafer_shift,
+                lot_idx,
+                wafer_idx % s.wafers_per_lot,
+                die_in_wafer,
+            ));
         }
         out
+    }
+
+    /// Draws one die's state given externally supplied lot and wafer
+    /// shifts; the die-level variates (die shift, Leff, mobility, leakage)
+    /// come from `rng`.
+    ///
+    /// This is the random-access entry point the streaming campaign uses:
+    /// lot and wafer shifts are reproduced from their own counter-derived
+    /// streams, so die `i` can be sampled without walking dies `0..i`.
+    pub fn sample_die<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        lot_shift: f64,
+        wafer_shift: f64,
+        lot: usize,
+        wafer: usize,
+        die: usize,
+    ) -> ProcessState {
+        let s = &self.spec;
+        let die_shift = normal(rng, 0.0, s.sigma_vth_die);
+        let vth_shift = Volt(lot_shift + wafer_shift + die_shift);
+        // Leff and mobility correlate negatively with Vth shift in real
+        // silicon (fast corner = low Vth, short channel, high mobility);
+        // keep a partial correlation plus independent components.
+        let corr = -vth_shift.0 / (3.0 * s.sigma_vth_die);
+        let leff_factor =
+            (1.0 + 0.5 * corr * s.sigma_leff + normal(rng, 0.0, s.sigma_leff)).max(0.7);
+        let mobility_factor =
+            (1.0 - 0.5 * corr * s.sigma_mobility + normal(rng, 0.0, s.sigma_mobility)).max(0.7);
+        // Leakage rises exponentially as Vth falls.
+        let leakage_factor = lognormal(rng, -vth_shift.0 / 0.030, s.sigma_leakage_log);
+        ProcessState {
+            vth_shift,
+            leff_factor,
+            mobility_factor,
+            leakage_factor,
+            lot,
+            wafer,
+            die,
+        }
     }
 }
 

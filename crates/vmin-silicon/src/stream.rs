@@ -1,0 +1,668 @@
+//! Streaming campaign engine: million-chip fleets in fixed memory.
+//!
+//! [`Campaign::run`] materializes every chip's full measurement set in one
+//! `Vec` — fine for the paper's 156-chip dataset, hopeless for fleet-scale
+//! screening. [`CampaignStream`] instead yields fixed-size [`ChipBlock`]
+//! chunks, each a single flat `f64` buffer, generated on demand:
+//!
+//! - **Counter-derived RNG streams** make generation random-access: chip
+//!   `i`'s entire draw sequence comes from a stream seeded by a splitmix64
+//!   mix of `(campaign seed, domain, i)`, and the lot/wafer shifts it
+//!   shares with its neighbours come from per-lot / per-wafer streams
+//!   derived the same way. No chip's randomness depends on any other
+//!   chip's, so chunk boundaries and thread partitioning cannot move a
+//!   single draw — output is **bit-identical** to the monolithic
+//!   [`Campaign::run`] (which draws from the same streams) at any
+//!   `VMIN_THREADS` and any chunk size.
+//! - **Per-chunk scratch**: each shard worker carries one reusable
+//!   [`Chip`] (path vector recycled via [`ChipFactory::refabricate`]) and
+//!   one [`MonitorBank`] (recycled via `reinstantiate`), and measurements
+//!   land directly in the block's flat rows through the `*_into` readout
+//!   variants — no per-chip allocation in the hot loop.
+//! - **Shard fan-out**: rows are generated [`SHARD_CHIPS`] chips at a
+//!   time through `vmin_par::par_chunks_mut`; the shard size is fixed (not
+//!   thread-derived), so `silicon.stream.*` counters are thread-invariant.
+//!
+//! Knobs: `VMIN_STREAM_CHUNK` sets the default chunk size (rows per
+//! block); the `VMIN_STREAM` kill switch (or [`with_stream`]) makes the
+//! stream materialize through [`Campaign::run`] once and slice blocks out
+//! of it — byte-for-byte the fallback path.
+
+use crate::chip::{Chip, ChipFactory};
+use crate::config::DatasetSpec;
+use crate::monitor::MonitorBank;
+use crate::parametric::ParametricProgram;
+use crate::process::{ProcessSampler, ProcessState};
+use crate::sampling::normal;
+use crate::testflow::{measure_vmin, nominal_chip, Campaign, ChipMeasurements};
+use crate::units::{Celsius, Hours};
+use crate::vmin::VminTester;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use vmin_rng::ChaCha8Rng;
+use vmin_rng::Rng;
+use vmin_rng::SeedableRng;
+
+/// Chips generated per shard (one `par_chunks_mut` work item). Fixed —
+/// never derived from the thread count — so shard topology and the
+/// `silicon.stream.shards` counter are identical at any `VMIN_THREADS`.
+/// 16 chips ≈ a few milliseconds of Vmin searches: coarse enough to
+/// amortize spawn overhead at 2 threads (the BENCH_PR7 regression), fine
+/// enough to load-balance a 4096-chip chunk.
+pub const SHARD_CHIPS: usize = 16;
+
+/// Default rows per [`ChipBlock`] when `VMIN_STREAM_CHUNK` is unset.
+pub const DEFAULT_STREAM_CHUNK: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Global stream flag (mirrors VMIN_SERVE in vmin-serve)
+// ---------------------------------------------------------------------------
+
+static STREAM_FLAG: OnceLock<AtomicBool> = OnceLock::new();
+static STREAM_LOCK: Mutex<()> = Mutex::new(());
+
+fn stream_flag() -> &'static AtomicBool {
+    STREAM_FLAG.get_or_init(|| AtomicBool::new(vmin_trace::env_flag("VMIN_STREAM", true)))
+}
+
+/// Whether the chunked generation engine is active. Defaults to on; the
+/// environment variable `VMIN_STREAM` (read once per process via
+/// [`vmin_trace::env_flag`]; `0`/`false`/`off` disable) turns it off, as
+/// does [`set_stream_enabled`]. Off means [`CampaignStream`] materializes
+/// the whole campaign through [`Campaign::run`] at construction and
+/// slices blocks from it — a pure path selection, blocks byte-identical
+/// either way.
+pub fn stream_enabled() -> bool {
+    stream_flag().load(Ordering::Relaxed)
+}
+
+/// Sets the stream flag, returning the previous value. Prefer
+/// [`with_stream`] in tests and benches: it serializes flag changes so
+/// concurrently running tests cannot observe each other's toggles.
+pub fn set_stream_enabled(on: bool) -> bool {
+    stream_flag().swap(on, Ordering::Relaxed)
+}
+
+struct FlagRestore(bool);
+
+impl Drop for FlagRestore {
+    fn drop(&mut self) {
+        set_stream_enabled(self.0);
+    }
+}
+
+/// Runs `f` with the stream engine pinned to `on`, restoring the previous
+/// flag afterwards (also on panic). Holds a global mutex for the duration
+/// so parallel flag-sensitive tests serialize instead of racing; do not
+/// nest calls — the lock is not reentrant.
+pub fn with_stream<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    let _guard = STREAM_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let _restore = FlagRestore(set_stream_enabled(on));
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Counter-derived substreams
+// ---------------------------------------------------------------------------
+
+/// Substream domain separators. Distinct domains guarantee that e.g. lot
+/// stream 3 and chip stream 3 never collide.
+const DOMAIN_LOT: u64 = 1;
+const DOMAIN_WAFER: u64 = 2;
+const DOMAIN_CHIP: u64 = 3;
+
+/// splitmix64 finalizer over `(seed, domain, index)`: a cheap, well-mixed
+/// injection from the counter triple to a substream seed.
+fn substream_seed(seed: u64, domain: u64, index: u64) -> u64 {
+    let mut z = seed
+        ^ domain.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed of chip `i`'s private measurement/fabrication stream.
+pub(crate) fn chip_stream_seed(seed: u64, chip: usize) -> u64 {
+    substream_seed(seed, DOMAIN_CHIP, chip as u64)
+}
+
+/// Reproduces chip `i`'s process state without walking chips `0..i`: the
+/// lot and wafer shifts come from their own counter-derived streams, the
+/// die-level draws from `rng` (the chip's stream).
+pub(crate) fn process_state_at<R: Rng + ?Sized>(
+    sampler: &ProcessSampler,
+    seed: u64,
+    i: usize,
+    rng: &mut R,
+) -> ProcessState {
+    let s = sampler.spec();
+    let die_in_wafer = i % s.dies_per_wafer;
+    let wafer_idx = i / s.dies_per_wafer;
+    let lot_idx = wafer_idx / s.wafers_per_lot;
+    let lot_shift = {
+        let mut lr = ChaCha8Rng::seed_from_u64(substream_seed(seed, DOMAIN_LOT, lot_idx as u64));
+        normal(&mut lr, 0.0, s.sigma_vth_lot)
+    };
+    let wafer_shift = {
+        let mut wr =
+            ChaCha8Rng::seed_from_u64(substream_seed(seed, DOMAIN_WAFER, wafer_idx as u64));
+        normal(&mut wr, 0.0, s.sigma_vth_wafer)
+    };
+    sampler.sample_die(
+        rng,
+        lot_shift,
+        wafer_shift,
+        lot_idx,
+        wafer_idx % s.wafers_per_lot,
+        die_in_wafer,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Block layout
+// ---------------------------------------------------------------------------
+
+/// Row geometry of a [`ChipBlock`]: every chip is one flat `f64` row
+/// `[defective, parametric.., (rod.. cpd..) per read point, vmin per
+/// (read point × temperature)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockLayout {
+    /// Parametric tests per chip.
+    pub parametric: usize,
+    /// Stress read points.
+    pub read_points: usize,
+    /// ROD monitors read at each read point.
+    pub rods: usize,
+    /// CPD monitors read at each read point.
+    pub cpds: usize,
+    /// Vmin test temperatures at each read point.
+    pub temps: usize,
+}
+
+impl BlockLayout {
+    /// The layout a campaign under `spec` produces.
+    pub fn of(spec: &DatasetSpec) -> Self {
+        BlockLayout {
+            parametric: spec.parametric.total_tests(),
+            read_points: spec.stress.read_points.len(),
+            rods: spec.monitors.rod_count,
+            cpds: spec.monitors.cpd_count,
+            temps: spec.vmin_test.temperatures.len(),
+        }
+    }
+
+    /// Width of one chip row.
+    pub fn row_width(&self) -> usize {
+        1 + self.parametric + self.read_points * (self.rods + self.cpds + self.temps)
+    }
+
+    /// Column range of the parametric section.
+    pub fn parametric_span(&self) -> (usize, usize) {
+        (1, 1 + self.parametric)
+    }
+
+    /// Column range of read point `k`'s ROD readouts.
+    pub fn rod_span(&self, k: usize) -> (usize, usize) {
+        let start = 1 + self.parametric + k * (self.rods + self.cpds);
+        (start, start + self.rods)
+    }
+
+    /// Column range of read point `k`'s CPD readouts.
+    pub fn cpd_span(&self, k: usize) -> (usize, usize) {
+        let start = 1 + self.parametric + k * (self.rods + self.cpds) + self.rods;
+        (start, start + self.cpds)
+    }
+
+    /// Column of the Vmin (mV) at read point `k`, temperature index `t`.
+    pub fn vmin_col(&self, k: usize, t: usize) -> usize {
+        1 + self.parametric + self.read_points * (self.rods + self.cpds) + k * self.temps + t
+    }
+}
+
+/// A fixed-size chunk of generated chips: `len()` rows of
+/// [`BlockLayout::row_width`] values each, chip ids implicit as
+/// `start() + row`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipBlock {
+    start: usize,
+    layout: BlockLayout,
+    data: Vec<f64>,
+}
+
+impl ChipBlock {
+    /// Campaign index of the block's first chip.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of chips in the block.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.layout.row_width()
+    }
+
+    /// True when the block holds no chips.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The row geometry.
+    pub fn layout(&self) -> &BlockLayout {
+        &self.layout
+    }
+
+    /// Width of one chip row.
+    pub fn row_width(&self) -> usize {
+        self.layout.row_width()
+    }
+
+    /// The whole flat buffer, row-major.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// One chip's flat row.
+    pub fn row(&self, r: usize) -> &[f64] {
+        let w = self.layout.row_width();
+        &self.data[r * w..(r + 1) * w]
+    }
+
+    /// Campaign chip id of row `r`.
+    pub fn chip_id(&self, r: usize) -> usize {
+        self.start + r
+    }
+
+    /// Ground-truth defect flag of row `r` (stored as 0.0 / 1.0).
+    pub fn defective(&self, r: usize) -> bool {
+        self.row(r)[0] > 0.5
+    }
+
+    /// Parametric results of row `r`, program order.
+    pub fn parametric(&self, r: usize) -> &[f64] {
+        let (a, b) = self.layout.parametric_span();
+        &self.row(r)[a..b]
+    }
+
+    /// ROD readouts of row `r` at read point `k`.
+    pub fn rod(&self, r: usize, k: usize) -> &[f64] {
+        let (a, b) = self.layout.rod_span(k);
+        &self.row(r)[a..b]
+    }
+
+    /// CPD readouts of row `r` at read point `k`.
+    pub fn cpd(&self, r: usize, k: usize) -> &[f64] {
+        let (a, b) = self.layout.cpd_span(k);
+        &self.row(r)[a..b]
+    }
+
+    /// Vmin (mV) of row `r` at read point `k`, temperature index `t`.
+    pub fn vmin_mv(&self, r: usize, k: usize, t: usize) -> f64 {
+        self.row(r)[self.layout.vmin_col(k, t)]
+    }
+
+    /// Expands row `r` into the nested [`ChipMeasurements`] shape the
+    /// monolithic campaign produces (equivalence tests and the streaming
+    /// CSV writer use this).
+    pub fn to_measurements(&self, r: usize) -> ChipMeasurements {
+        let l = &self.layout;
+        ChipMeasurements {
+            chip_id: self.chip_id(r),
+            defective: self.defective(r),
+            parametric: self.parametric(r).to_vec(),
+            rod: (0..l.read_points)
+                .map(|k| self.rod(r, k).to_vec())
+                .collect(),
+            cpd: (0..l.read_points)
+                .map(|k| self.cpd(r, k).to_vec())
+                .collect(),
+            vmin_mv: (0..l.read_points)
+                .map(|k| (0..l.temps).map(|t| self.vmin_mv(r, k, t)).collect())
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// Shared, read-only per-campaign state every shard worker borrows.
+struct StreamEngine {
+    spec: DatasetSpec,
+    seed: u64,
+    factory: ChipFactory,
+    sampler: ProcessSampler,
+    program: ParametricProgram,
+    tester: VminTester,
+    read_points: Vec<Hours>,
+    temperatures: Vec<Celsius>,
+}
+
+/// Per-shard scratch: one reusable chip (path vector recycled) and one
+/// reusable monitor bank. Lives for a whole shard, so the per-chip loop
+/// allocates nothing.
+struct ChipScratch {
+    chip: Chip,
+    bank: MonitorBank,
+}
+
+impl ChipScratch {
+    fn new(spec: &DatasetSpec) -> Self {
+        ChipScratch {
+            chip: nominal_chip(spec),
+            bank: MonitorBank::empty(&spec.monitors),
+        }
+    }
+}
+
+impl StreamEngine {
+    fn new(spec: &DatasetSpec, seed: u64) -> Self {
+        // The master stream draws ONLY the shared parametric program; every
+        // other draw comes from a counter-derived substream, which is what
+        // makes generation random-access.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let program = ParametricProgram::generate(&mut rng, &spec.parametric);
+        let tester = VminTester::calibrated(spec.vmin_test.clone(), &nominal_chip(spec));
+        StreamEngine {
+            spec: spec.clone(),
+            seed,
+            factory: ChipFactory::new(spec.clone()),
+            sampler: ProcessSampler::new(spec.process.clone()),
+            program,
+            tester,
+            read_points: spec.stress.read_points.clone(),
+            temperatures: spec.vmin_test.temperatures.clone(),
+        }
+    }
+
+    /// Generates chip `i` directly into its flat `row`, drawing everything
+    /// from the chip's counter-derived stream — the same draw sequence, in
+    /// the same order, as the monolithic campaign's per-chip worker.
+    fn measure_chip_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        i: usize,
+        scratch: &mut ChipScratch,
+        layout: &BlockLayout,
+        row: &mut [f64],
+    ) {
+        let process = process_state_at(&self.sampler, self.seed, i, rng);
+        self.factory.refabricate(rng, i, process, &mut scratch.chip);
+        scratch.bank.reinstantiate(
+            rng,
+            self.spec.paths_per_chip,
+            self.spec.process.sigma_vth_local,
+        );
+        let chip = &scratch.chip;
+        row[0] = if chip.defective { 1.0 } else { 0.0 };
+        let (pa, pb) = layout.parametric_span();
+        self.program
+            .run_into(rng, chip, Hours(0.0), &mut row[pa..pb]);
+        for (k, &rp) in self.read_points.iter().enumerate() {
+            let (ra, rb) = layout.rod_span(k);
+            scratch.bank.read_rods_into(rng, chip, rp, &mut row[ra..rb]);
+            let (ca, cb) = layout.cpd_span(k);
+            scratch.bank.read_cpds_into(rng, chip, rp, &mut row[ca..cb]);
+            for (ti, &temp) in self.temperatures.iter().enumerate() {
+                let v = measure_vmin(rng, &self.tester, chip, temp, rp);
+                row[layout.vmin_col(k, ti)] = v.to_millivolts();
+            }
+        }
+    }
+}
+
+/// A lazily generated campaign: iterate it to receive [`ChipBlock`]s in
+/// chip order, bit-identical to [`Campaign::run`] on the same spec/seed
+/// at any chunk size and any `VMIN_THREADS`.
+pub struct CampaignStream {
+    engine: StreamEngine,
+    layout: BlockLayout,
+    chunk: usize,
+    next: usize,
+    fallback: Option<Campaign>,
+}
+
+impl CampaignStream {
+    /// Opens a stream with the chunk size from `VMIN_STREAM_CHUNK`
+    /// (default [`DEFAULT_STREAM_CHUNK`] rows per block).
+    pub fn new(spec: &DatasetSpec, seed: u64) -> Self {
+        let chunk = vmin_trace::env_usize("VMIN_STREAM_CHUNK").unwrap_or(DEFAULT_STREAM_CHUNK);
+        Self::with_chunk(spec, seed, chunk)
+    }
+
+    /// Opens a stream with an explicit chunk size (clamped to ≥ 1).
+    ///
+    /// With the `VMIN_STREAM` kill switch off, the whole campaign is
+    /// materialized through [`Campaign::run`] here and blocks are sliced
+    /// from it — byte-for-byte the fallback path.
+    pub fn with_chunk(spec: &DatasetSpec, seed: u64, chunk: usize) -> Self {
+        vmin_trace::counter_add("silicon.stream.campaigns", 1);
+        let fallback = if stream_enabled() {
+            None
+        } else {
+            vmin_trace::counter_add("silicon.stream.fallback", 1);
+            Some(Campaign::run(spec, seed))
+        };
+        CampaignStream {
+            engine: StreamEngine::new(spec, seed),
+            layout: BlockLayout::of(spec),
+            chunk: chunk.max(1),
+            next: 0,
+            fallback,
+        }
+    }
+
+    /// The spec the stream generates under.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.engine.spec
+    }
+
+    /// The campaign seed.
+    pub fn seed(&self) -> u64 {
+        self.engine.seed
+    }
+
+    /// Rows per block (the last block may be shorter).
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// The row geometry every block shares.
+    pub fn layout(&self) -> &BlockLayout {
+        &self.layout
+    }
+
+    /// Total chips the stream will produce.
+    pub fn chip_count(&self) -> usize {
+        self.engine.spec.chip_count
+    }
+
+    /// Names of the parametric features, program order.
+    pub fn parametric_names(&self) -> Vec<String> {
+        self.engine.program.names()
+    }
+
+    /// Stress read points, ascending.
+    pub fn read_points(&self) -> &[Hours] {
+        &self.engine.read_points
+    }
+
+    /// Vmin test temperatures, spec order.
+    pub fn temperatures(&self) -> &[Celsius] {
+        &self.engine.temperatures
+    }
+
+    /// The calibrated tester clock period (ps).
+    pub fn clock_period_ps(&self) -> f64 {
+        self.engine.tester.clock_period().0
+    }
+
+    /// True when the kill switch routed this stream through
+    /// [`Campaign::run`].
+    pub fn is_fallback(&self) -> bool {
+        self.fallback.is_some()
+    }
+
+    fn generate_block(&self, start: usize, rows: usize) -> ChipBlock {
+        let _span = vmin_trace::span("silicon.stream.chunk");
+        vmin_trace::counter_add("silicon.stream.chunks", 1);
+        vmin_trace::counter_add("silicon.stream.chips", rows as u64);
+        vmin_trace::counter_add("silicon.stream.shards", rows.div_ceil(SHARD_CHIPS) as u64);
+        let width = self.layout.row_width();
+        let mut data = vec![0.0f64; rows * width];
+        let engine = &self.engine;
+        let layout = self.layout;
+        let seed = self.engine.seed;
+        vmin_par::par_chunks_mut(&mut data, SHARD_CHIPS * width, 2, |ci, shard| {
+            let mut scratch = ChipScratch::new(&engine.spec);
+            let shard_start = start + ci * SHARD_CHIPS;
+            for (j, row) in shard.chunks_mut(width).enumerate() {
+                let idx = shard_start + j;
+                let mut rng = ChaCha8Rng::seed_from_u64(chip_stream_seed(seed, idx));
+                engine.measure_chip_into(&mut rng, idx, &mut scratch, &layout, row);
+            }
+        });
+        ChipBlock {
+            start,
+            layout: self.layout,
+            data,
+        }
+    }
+
+    fn slice_block(&self, campaign: &Campaign, start: usize, rows: usize) -> ChipBlock {
+        let l = &self.layout;
+        let width = l.row_width();
+        let mut data = vec![0.0f64; rows * width];
+        for (r, row) in data.chunks_mut(width).enumerate() {
+            let m = &campaign.chips[start + r];
+            row[0] = if m.defective { 1.0 } else { 0.0 };
+            let (pa, pb) = l.parametric_span();
+            row[pa..pb].copy_from_slice(&m.parametric);
+            for k in 0..l.read_points {
+                let (ra, rb) = l.rod_span(k);
+                row[ra..rb].copy_from_slice(&m.rod[k]);
+                let (ca, cb) = l.cpd_span(k);
+                row[ca..cb].copy_from_slice(&m.cpd[k]);
+                for t in 0..l.temps {
+                    row[l.vmin_col(k, t)] = m.vmin_mv[k][t];
+                }
+            }
+        }
+        ChipBlock {
+            start,
+            layout: self.layout,
+            data,
+        }
+    }
+}
+
+impl Iterator for CampaignStream {
+    type Item = ChipBlock;
+
+    fn next(&mut self) -> Option<ChipBlock> {
+        let total = self.engine.spec.chip_count;
+        if self.next >= total {
+            return None;
+        }
+        let start = self.next;
+        let rows = (total - start).min(self.chunk);
+        self.next = start + rows;
+        Some(match &self.fallback {
+            Some(campaign) => self.slice_block(campaign, start, rows),
+            None => self.generate_block(start, rows),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substreams_are_distinct_across_domains_and_indices() {
+        let mut seen = std::collections::BTreeSet::new();
+        for domain in [DOMAIN_LOT, DOMAIN_WAFER, DOMAIN_CHIP] {
+            for index in 0..64 {
+                assert!(seen.insert(substream_seed(7, domain, index)));
+            }
+        }
+        assert_ne!(
+            substream_seed(1, DOMAIN_CHIP, 0),
+            substream_seed(2, DOMAIN_CHIP, 0)
+        );
+    }
+
+    #[test]
+    fn layout_spans_tile_the_row() {
+        let spec = DatasetSpec::small();
+        let l = BlockLayout::of(&spec);
+        let (pa, pb) = l.parametric_span();
+        assert_eq!(pa, 1);
+        assert_eq!(pb - pa, spec.parametric.total_tests());
+        let mut expected = pb;
+        for k in 0..l.read_points {
+            let (ra, rb) = l.rod_span(k);
+            assert_eq!(ra, expected);
+            let (ca, cb) = l.cpd_span(k);
+            assert_eq!(ca, rb);
+            expected = cb;
+        }
+        assert_eq!(l.vmin_col(0, 0), expected);
+        assert_eq!(
+            l.vmin_col(l.read_points - 1, l.temps - 1) + 1,
+            l.row_width()
+        );
+    }
+
+    #[test]
+    fn blocks_cover_the_campaign_exactly_once() {
+        let spec = DatasetSpec::small();
+        let stream = with_stream(true, || CampaignStream::with_chunk(&spec, 5, 7));
+        let blocks: Vec<ChipBlock> = stream.collect();
+        let mut next_id = 0;
+        for b in &blocks {
+            assert_eq!(b.start(), next_id);
+            assert!(b.len() <= 7);
+            next_id += b.len();
+        }
+        assert_eq!(next_id, spec.chip_count);
+    }
+
+    #[test]
+    fn fallback_blocks_match_streamed_blocks() {
+        let spec = DatasetSpec::small();
+        let streamed: Vec<ChipBlock> =
+            with_stream(true, || CampaignStream::with_chunk(&spec, 11, 16)).collect();
+        let (sliced, was_fallback) = with_stream(false, || {
+            let s = CampaignStream::with_chunk(&spec, 11, 16);
+            let fb = s.is_fallback();
+            (s.collect::<Vec<ChipBlock>>(), fb)
+        });
+        assert!(was_fallback);
+        assert_eq!(streamed, sliced);
+    }
+
+    #[test]
+    fn with_stream_pins_and_restores() {
+        let before = stream_enabled();
+        assert!(!with_stream(false, stream_enabled));
+        assert!(with_stream(true, stream_enabled));
+        assert_eq!(stream_enabled(), before);
+    }
+
+    #[test]
+    fn measurements_roundtrip_through_flat_rows() {
+        let spec = DatasetSpec::small();
+        let mut stream = with_stream(true, || CampaignStream::with_chunk(&spec, 3, 8));
+        let block = stream.next().unwrap();
+        let m = block.to_measurements(2);
+        assert_eq!(m.chip_id, 2);
+        assert_eq!(m.parametric.len(), spec.parametric.total_tests());
+        assert_eq!(m.rod.len(), spec.stress.read_points.len());
+        assert_eq!(m.rod[0].len(), spec.monitors.rod_count);
+        assert_eq!(m.cpd[0].len(), spec.monitors.cpd_count);
+        assert_eq!(m.vmin_mv[0].len(), spec.vmin_test.temperatures.len());
+        assert_eq!(block.vmin_mv(2, 0, 0), m.vmin_mv[0][0]);
+    }
+}

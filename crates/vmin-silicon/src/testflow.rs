@@ -7,12 +7,11 @@ use crate::chip::{Chip, ChipFactory, CriticalPath};
 use crate::config::DatasetSpec;
 use crate::monitor::MonitorBank;
 use crate::parametric::ParametricProgram;
-use crate::process::ProcessState;
+use crate::process::{ProcessSampler, ProcessState};
 use crate::units::{Celsius, Hours, Volt};
 use crate::vmin::VminTester;
 use vmin_rng::ChaCha8Rng;
 use vmin_rng::Rng;
-use vmin_rng::RngCore;
 use vmin_rng::SeedableRng;
 
 /// Minimum chips before the campaign spawns measurement workers; a chip is
@@ -63,12 +62,14 @@ impl Campaign {
     /// All randomness (fabrication, measurement noise) flows from `seed`, so
     /// two calls with equal `spec` and `seed` produce identical data.
     ///
-    /// Chips are measured in parallel (see `vmin-par`): fabrication and the
-    /// parametric-program generation consume the master stream serially,
-    /// then each chip's test-floor measurements run on an independent RNG
-    /// stream seeded from the master stream in chip order. Per-chip work is
-    /// therefore independent of thread partitioning and the campaign is
-    /// bit-identical at any `VMIN_THREADS` value.
+    /// Chips are fabricated *and* measured in parallel (see `vmin-par`):
+    /// the master stream draws only the shared parametric program, and
+    /// every other draw comes from a counter-derived substream — per-lot
+    /// and per-wafer streams for the shared shifts, one private stream per
+    /// chip for everything else (see `stream::chip_stream_seed`). No
+    /// chip's randomness depends on any other chip's, so the campaign is
+    /// bit-identical at any `VMIN_THREADS` value and, chunk for chunk, to
+    /// the streaming engine (`CampaignStream`).
     pub fn run(spec: &DatasetSpec, seed: u64) -> Campaign {
         let _span = vmin_trace::span("silicon.campaign.run");
         vmin_trace::counter_add("silicon.campaign.runs", 1);
@@ -80,18 +81,19 @@ impl Campaign {
                 * (spec.vmin_test.temperatures.len() as u64),
         );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let chips = ChipFactory::new(spec.clone()).fabricate(&mut rng);
         let program = ParametricProgram::generate(&mut rng, &spec.parametric);
         let tester = VminTester::calibrated(spec.vmin_test.clone(), &nominal_chip(spec));
 
+        let factory = ChipFactory::new(spec.clone());
+        let sampler = ProcessSampler::new(spec.process.clone());
         let read_points = spec.stress.read_points.clone();
         let temperatures = spec.vmin_test.temperatures.clone();
 
-        // One measurement-stream seed per chip, drawn serially in chip order.
-        let chip_seeds: Vec<u64> = chips.iter().map(|_| rng.next_u64()).collect();
-
-        let results = vmin_par::par_map(&chips, MIN_PAR_CHIPS, |i, chip| {
-            let mut rng = ChaCha8Rng::seed_from_u64(chip_seeds[i]);
+        let indices: Vec<usize> = (0..spec.chip_count).collect();
+        let results = vmin_par::par_map(&indices, MIN_PAR_CHIPS, |_, &idx| {
+            let mut rng = ChaCha8Rng::seed_from_u64(crate::stream::chip_stream_seed(seed, idx));
+            let process = crate::stream::process_state_at(&sampler, seed, idx, &mut rng);
+            let chip = factory.fabricate_one(&mut rng, idx, process);
             // Each die gets its own monitor instantiation (local mismatch).
             let bank = MonitorBank::instantiate(
                 &mut rng,
@@ -99,16 +101,16 @@ impl Campaign {
                 spec.paths_per_chip,
                 spec.process.sigma_vth_local,
             );
-            let parametric = program.run(&mut rng, chip, Hours(0.0));
+            let parametric = program.run(&mut rng, &chip, Hours(0.0));
             let mut rod = Vec::with_capacity(read_points.len());
             let mut cpd = Vec::with_capacity(read_points.len());
             let mut vmin_mv = Vec::with_capacity(read_points.len());
             for &rp in &read_points {
-                rod.push(bank.read_rods(&mut rng, chip, rp));
-                cpd.push(bank.read_cpds(&mut rng, chip, rp));
+                rod.push(bank.read_rods(&mut rng, &chip, rp));
+                cpd.push(bank.read_cpds(&mut rng, &chip, rp));
                 let mut per_temp = Vec::with_capacity(temperatures.len());
                 for &temp in &temperatures {
-                    let v = measure_vmin(&mut rng, &tester, chip, temp, rp);
+                    let v = measure_vmin(&mut rng, &tester, &chip, temp, rp);
                     per_temp.push(v.to_millivolts());
                 }
                 vmin_mv.push(per_temp);
@@ -154,7 +156,7 @@ impl Campaign {
     pub fn rod_names(&self, read_point_idx: usize) -> Vec<String> {
         let h = self.read_points[read_point_idx].0;
         (0..self.spec.monitors.rod_count)
-            .map(|j| format!("rod_{j:03}_h{h:.0}"))
+            .map(|j| rod_name(j, h))
             .collect()
     }
 
@@ -162,15 +164,26 @@ impl Campaign {
     pub fn cpd_names(&self, read_point_idx: usize) -> Vec<String> {
         let h = self.read_points[read_point_idx].0;
         (0..self.spec.monitors.cpd_count)
-            .map(|j| format!("cpd_{j:02}_h{h:.0}"))
+            .map(|j| cpd_name(j, h))
             .collect()
     }
+}
+
+/// Canonical ROD feature name — shared by the campaign accessors and the
+/// streaming CSV writer so their headers stay byte-identical.
+pub(crate) fn rod_name(j: usize, h: f64) -> String {
+    format!("rod_{j:03}_h{h:.0}")
+}
+
+/// Canonical CPD feature name (see [`rod_name`]).
+pub(crate) fn cpd_name(j: usize, h: f64) -> String {
+    format!("cpd_{j:02}_h{h:.0}")
 }
 
 /// Measures Vmin, falling back to the search ceiling for gross outliers that
 /// fail even at the highest voltage (these would be yield fails in a real
 /// flow; the campaign records them at the ceiling).
-fn measure_vmin<R: Rng + ?Sized>(
+pub(crate) fn measure_vmin<R: Rng + ?Sized>(
     rng: &mut R,
     tester: &VminTester,
     chip: &Chip,

@@ -444,7 +444,7 @@ fn adaptive_stream_holds_coverage_under_drift_where_static_cqr_fails() {
     let cases = [
         (DriftClass::SuddenShift, 60.0, FeatureSet::Both),
         (DriftClass::Ramp, 20.0, FeatureSet::Both),
-        (DriftClass::VarianceBlowup, 50.0, FeatureSet::Both),
+        (DriftClass::VarianceBlowup, 70.0, FeatureSet::Both),
         (DriftClass::SensorDropout, 0.0, FeatureSet::OnChip),
     ];
 

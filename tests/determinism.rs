@@ -385,6 +385,78 @@ fn serve_matrix_is_bit_identical_and_artifact_bytes_are_stable() {
 }
 
 #[test]
+fn stream_matrix_is_bit_identical_across_threads_chunks_and_tracing() {
+    // PR 10 extends the matrix with the streaming-generation dimension:
+    // the blocks of a `CampaignStream` must be byte-identical at
+    // VMIN_THREADS ∈ {1, 2, 8} × VMIN_STREAM {on, off} × chunk {1, 7, 64}
+    // × tracing {on, off}. The kill switch materializes through
+    // `Campaign::run` and slices — pure path selection — and chunking may
+    // move block boundaries but never a single bit of chip data. Merged
+    // deterministic metrics must also be thread-invariant within a fixed
+    // (stream, chunk) cell (the shard counter is sized by chunk geometry,
+    // never by thread count).
+    use cqr_vmin::silicon::{with_stream, CampaignStream};
+
+    let spec = DatasetSpec::small();
+    let run = |threads: usize, stream_on: bool, chunk: usize, trace_on: bool| {
+        let prev = vmin_trace::set_enabled(trace_on);
+        let (bits, snap) = vmin_trace::with_collector(|| {
+            vmin_par::with_threads(threads, || {
+                with_stream(stream_on, || {
+                    let mut bits: Vec<u64> = Vec::new();
+                    for block in CampaignStream::with_chunk(&spec, 7, chunk) {
+                        bits.extend(block.data().iter().map(|v| v.to_bits()));
+                    }
+                    bits
+                })
+            })
+        });
+        vmin_trace::set_enabled(prev);
+        (bits, snap)
+    };
+
+    let (ref_bits, ref_snap) = run(1, true, 7, true);
+    assert!(
+        ref_snap
+            .counters
+            .keys()
+            .any(|k| k.starts_with("silicon.stream.")),
+        "the streamed run recorded no silicon.stream.* counters"
+    );
+    for threads in [1usize, 2, 8] {
+        for stream_on in [true, false] {
+            for chunk in [1usize, 7, 64] {
+                for trace_on in [true, false] {
+                    let (bits, snap) = run(threads, stream_on, chunk, trace_on);
+                    assert_eq!(
+                        bits, ref_bits,
+                        "stream data diverged at threads={threads} \
+                         stream={stream_on} chunk={chunk} trace={trace_on}"
+                    );
+                    if !trace_on {
+                        assert!(
+                            snap.is_empty(),
+                            "tracing off must record nothing (threads={threads})"
+                        );
+                    } else if stream_on && chunk == 7 {
+                        assert_eq!(
+                            snap.deterministic_view(),
+                            ref_snap.deterministic_view(),
+                            "stream metrics diverged at {threads} threads"
+                        );
+                    } else if !stream_on {
+                        assert!(
+                            snap.counters.contains_key("silicon.stream.fallback"),
+                            "kill-switch run must count the fallback"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn par_map_preserves_input_order_at_any_thread_count() {
     // Awkward sizes exercise uneven chunking: remainders, fewer items than
     // threads, and single-item inputs.
